@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+All table/figure benchmarks run against one disk-cached
+:class:`ExperimentWorld` so the (expensive) world construction happens once
+per machine, not once per bench.  Scale defaults to SMALL; set
+``REPRO_BENCH_SCALE=medium`` (or ``tiny``) to change it.
+
+Each bench prints the regenerated table so ``pytest benchmarks/
+--benchmark-only -s`` reproduces the paper's evaluation artifacts verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import MEDIUM, SMALL, TINY, ExperimentWorld
+
+_SCALES = {"tiny": TINY, "small": SMALL, "medium": MEDIUM}
+
+
+@pytest.fixture(scope="session")
+def bench_world() -> ExperimentWorld:
+    """The shared experiment world for all benches."""
+    scale = _SCALES[os.environ.get("REPRO_BENCH_SCALE", "small").lower()]
+    return ExperimentWorld.cached(scale, cache_dir=os.path.join(os.path.dirname(__file__), ".cache"))
+
+
+def print_table(title: str, body: str) -> None:
+    """Emit a labeled table to the bench output."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

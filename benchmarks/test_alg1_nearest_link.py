@@ -1,0 +1,60 @@
+"""Algorithm 1 micro-benchmark and optimality-gap ablation.
+
+The paper notes the nearest link objective resembles the Kuhn–Munkres
+assignment problem and adopts a greedy O(MN²) approximation.  This bench
+measures the greedy solver's throughput at the paper-relevant shape
+(M security patches × N wild patches) and its optimality gap against the
+exact Hungarian solution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import exact_assignment, nearest_link_search
+from repro.features import weighted_distance_matrix
+
+
+@pytest.fixture(scope="module")
+def distance_matrix(bench_world):
+    """A real distance matrix: NVD seed vs a wild pool."""
+    seed = bench_world.nvd_seed_shas
+    pool = bench_world.wild_pool(min(1500, bench_world.scale.set23_size))
+    sec = bench_world.cache.matrix(seed)
+    wild = bench_world.cache.matrix(pool)
+    return weighted_distance_matrix(sec, wild)
+
+
+def test_alg1_greedy_throughput(benchmark, distance_matrix):
+    result = benchmark(nearest_link_search, distance_matrix)
+    m, n = distance_matrix.shape
+    print(f"\nAlgorithm 1 on a {m}x{n} matrix: total distance {result.total_distance:.2f}")
+    assert len(set(result.links.tolist())) == m
+
+
+def test_alg1_optimality_gap(benchmark, distance_matrix):
+    """Greedy vs exact assignment on the same matrix (ablation)."""
+
+    def both():
+        greedy = nearest_link_search(distance_matrix)
+        exact = exact_assignment(distance_matrix)
+        return greedy, exact
+
+    greedy, exact = benchmark.pedantic(both, rounds=1, iterations=1, warmup_rounds=0)
+    gap = (greedy.total_distance - exact.total_distance) / max(exact.total_distance, 1e-12)
+    print(
+        f"\ngreedy={greedy.total_distance:.3f} exact={exact.total_distance:.3f} "
+        f"gap={gap:.1%}"
+    )
+    assert greedy.total_distance >= exact.total_distance - 1e-9
+    # The greedy approximation stays close to optimal on real feature data.
+    assert gap < 0.25
+
+
+def test_distance_matrix_construction(benchmark, bench_world):
+    """Weighted distance matrix build cost (the O(M·N·d) step)."""
+    seed = bench_world.nvd_seed_shas
+    pool = bench_world.wild_pool(800)
+    sec = bench_world.cache.matrix(seed)
+    wild = bench_world.cache.matrix(pool)
+    d = benchmark(weighted_distance_matrix, sec, wild)
+    assert d.shape == (len(seed), len(pool))

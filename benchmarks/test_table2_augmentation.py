@@ -1,0 +1,40 @@
+"""Table II — wild-based dataset construction in five augmentation rounds.
+
+Paper (scaled 100K/200K/200K pools, 4076-patch seed):
+
+    Set I   round 1: candidates 4076, verified  895, ratio 22%
+    Set I   round 2: candidates 4971, verified 1235, ratio 25%
+    Set I   round 3: candidates 6206, verified  993, ratio 16%
+    Set II  round 4: candidates 7199, verified 2088, ratio 29%
+    Set III round 5: candidates 9287, verified 2786, ratio 30%
+
+Reproduction target: five rounds whose yields sit far above the 6-10% wild
+base rate, with the larger Sets II/III sustaining or raising the ratio.
+"""
+
+from conftest import print_table
+
+from repro.analysis import run_table2
+
+
+def test_table2_augmentation_rounds(benchmark, bench_world):
+    outcome = benchmark.pedantic(
+        lambda: run_table2(bench_world), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    print_table("Table II — security patches identified in five rounds", outcome.table())
+
+    assert len(outcome.rounds) == 5
+    candidates = sum(r.candidates for r in outcome.rounds)
+    verified = sum(r.verified_security for r in outcome.rounds)
+    aggregate = verified / candidates
+    base_rate = 0.09  # the world's configured security fraction
+    print(
+        f"aggregate yield = {aggregate:.0%} vs wild base rate ~{base_rate:.0%} "
+        f"({aggregate / base_rate:.1f}x)"
+    )
+    # The paper's headline: ~3x the brute-force base rate.
+    assert aggregate > 1.5 * base_rate
+    # Larger search ranges (Sets II/III) must not collapse the yield.
+    late = [r.ratio for r in outcome.rounds[3:]]
+    assert max(late) > 0.5 * outcome.rounds[0].ratio

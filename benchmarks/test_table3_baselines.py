@@ -1,0 +1,39 @@
+"""Table III — comparison with other augmentation methods.
+
+Paper (200K unlabeled pool, 1K verification samples, 95% CI):
+
+    Brute Force Search            8 (±1.7)%
+    Pseudo Labeling              13 (±1.8)%
+    Uncertainty-based Labeling   12%
+    Nearest Link Search (ours)   29 (±2.4)%
+
+Reproduction target: nearest link strictly out-yields pseudo labeling and
+brute force; brute force sits at the wild base rate.
+"""
+
+from conftest import print_table
+
+from repro.analysis import run_table3
+
+
+def test_table3_method_comparison(benchmark, bench_world):
+    results = benchmark.pedantic(
+        lambda: run_table3(bench_world), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    body = "\n".join(r.row() for r in results)
+    print_table("Table III — comparison with other augmentation methods", body)
+
+    by_method = {r.method: r for r in results}
+    brute = by_method["Brute Force Search"]
+    pseudo = by_method["Pseudo Labeling"]
+    ours = by_method["Nearest Link Search (ours)"]
+
+    # Brute force ~ the 6-10% base rate the paper observes.
+    assert 0.03 <= brute.proportion <= 0.15
+    # Our method beats both baselines (the paper's core claim).
+    assert ours.proportion > pseudo.proportion
+    assert ours.proportion > 2.0 * brute.proportion
+    # Candidate budgets match the protocol.
+    assert ours.n_candidates == len(bench_world.nvd_seed_shas)
+    assert brute.n_candidates == brute.pool_size

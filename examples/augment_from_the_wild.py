@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Human-in-the-loop augmentation: watch nearest link search at work.
+
+Reproduces the §III-B workflow interactively: seed with the crawled
+NVD-based dataset, run several augmentation rounds against a wild pool, and
+report how much expert effort the nearest link search saves compared to
+brute-force review — the paper's ~66% effort-reduction claim.
+
+Usage::
+
+    python examples/augment_from_the_wild.py [rounds] [pool_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis import TINY, ExperimentWorld
+from repro.core import DatasetAugmentation, SearchSet, VerificationOracle
+from repro.features import weighted_distance_matrix
+from repro.core.nearest_link import link_distances, nearest_link_search
+
+
+def main() -> None:
+    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    pool_size = int(sys.argv[2]) if len(sys.argv) > 2 else 250
+
+    print("building world + NVD seed...")
+    ew = ExperimentWorld(TINY)
+    seed = ew.nvd_seed_shas
+    pool = ew.wild_pool(pool_size)
+    print(f"  seed: {len(seed)} NVD security patches; pool: {len(pool)} wild commits")
+
+    # Peek inside one nearest link search before running the loop.
+    distance = weighted_distance_matrix(ew.cache.matrix(seed), ew.cache.matrix(pool))
+    result = nearest_link_search(distance)
+    dists = link_distances(distance, result)
+    print("\nfirst round, closest links (security patch -> wild candidate):")
+    order = np.argsort(dists)[:5]
+    for m in order:
+        cand = pool[int(result.links[m])]
+        label = ew.world.label(cand)
+        truth = "SECURITY" if label.is_security else "non-security"
+        print(
+            f"  seed {seed[m][:10]} -> candidate {cand[:10]} "
+            f"(distance {dists[m]:.3f}) truth: {truth} [{ew.world.patch_for(cand).subject}]"
+        )
+
+    oracle = VerificationOracle(ew.world, seed=1)
+    augmentation = DatasetAugmentation(ew.cache, oracle)
+    outcome = augmentation.run_schedule(seed, [SearchSet("pool", tuple(pool), rounds=rounds)])
+
+    print(f"\n{rounds} augmentation rounds:")
+    print(outcome.table())
+
+    found = outcome.wild_security_count
+    reviewed = oracle.stats.candidates_reviewed
+    base_rate = np.mean([ew.world.label(s).is_security for s in pool])
+    brute_reviews = found / base_rate if base_rate else float("inf")
+    print(
+        f"\nexpert effort: {reviewed} candidate reviews for {found} new security patches"
+        f" ({found / reviewed:.0%} yield)"
+    )
+    print(
+        f"brute force would need ~{brute_reviews:.0f} reviews for the same haul "
+        f"(base rate {base_rate:.1%}) -> effort reduced by "
+        f"{1 - reviewed / brute_reviews:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

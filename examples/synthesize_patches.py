@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Source-level patch oversampling: the Fig. 5 variants in action.
+
+Takes a natural security patch from the simulated world, applies each of
+the eight control-flow variant templates, and prints the resulting
+synthetic diffs so the §III-C mechanism is visible end to end.
+
+Usage::
+
+    python examples/synthesize_patches.py [how_many_variants]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import TINY, ExperimentWorld
+from repro.patch import render_file_diff
+from repro.synthesis import VARIANTS, PatchSynthesizer, synthesize_from_texts
+from repro.diffing import diff_texts
+
+
+def main() -> None:
+    limit = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+
+    print("building world...")
+    ew = ExperimentWorld(TINY)
+
+    # Pick a security patch whose diff touches an if statement.
+    synthesizer = PatchSynthesizer(ew.world, max_per_patch=8, seed=0)
+    chosen = None
+    for sha in ew.world.security_shas():
+        produced = synthesizer.synthesize(sha)
+        if len(produced) >= limit:
+            chosen = (sha, produced)
+            break
+    if chosen is None:
+        print("no patch with enough if-statement sites found; rerun with another seed")
+        return
+    sha, produced = chosen
+
+    natural = ew.world.patch_for(sha)
+    print(f"\nnatural security patch {sha[:12]} ({natural.subject!r}):")
+    print(render_file_diff(natural.files[0]))
+
+    for sp in produced[:limit]:
+        variant = VARIANTS[sp.variant_id - 1]
+        print(f"\n--- synthetic via variant {sp.variant_id} ({variant.description}), "
+              f"{sp.side} side ---")
+        print(render_file_diff(sp.patch.files[0]))
+
+    # Also show the primitive API on a self-contained file pair.
+    before = (
+        "int get(int idx, int cap)\n{\n"
+        "    if (idx >= cap)\n        return -1;\n    return idx;\n}\n"
+    )
+    after = before.replace("idx >= cap", "idx >= cap || idx < 0")
+    print("\nprimitive API on a hand-written pair (variant 1):")
+    new_before, new_after = synthesize_from_texts(before, after, "get.c", VARIANTS[0])
+    print(render_file_diff(diff_texts(new_before, new_after, "get.c")))
+
+
+if __name__ == "__main__":
+    main()

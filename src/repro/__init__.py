@@ -1,0 +1,44 @@
+"""repro — a full reproduction of *PatchDB: A Large-Scale Security Patch
+Dataset* (Wang et al., DSN 2021).
+
+The package implements the paper's three construction pipelines and every
+substrate they depend on, offline:
+
+* :mod:`repro.patch` / :mod:`repro.diffing` — patch model, parsers, Myers diff.
+* :mod:`repro.lang` — C/C++ lexer, token abstraction, lightweight AST parser.
+* :mod:`repro.features` — the 60-dimensional Table I feature space.
+* :mod:`repro.ml` — from-scratch NumPy classifiers (forest, SVM, SMO, NB,
+  TAN, REPTree, perceptron, KNN, SGD, logistic) and a BPTT RNN.
+* :mod:`repro.vcs` / :mod:`repro.corpus` / :mod:`repro.nvd` — the simulated
+  GitHub + NVD world with ground truth.
+* :mod:`repro.core` — nearest link search (Algorithm 1), the augmentation
+  loop, baselines, categorizer, and the PatchDB container.
+* :mod:`repro.synthesis` — source-level oversampling (Fig. 4/5).
+* :mod:`repro.analysis` — per-table experiment runners.
+
+Quickstart::
+
+    from repro.analysis import ExperimentWorld, TINY, build_patchdb
+
+    ew = ExperimentWorld(TINY)
+    db = build_patchdb(ew)
+    print(db.summary())
+"""
+
+from .core.nearest_link import nearest_link_search
+from .core.patchdb import PatchDB, PatchRecord
+from .features.extractor import extract_features
+from .patch.gitformat import parse_patch
+from .patch.model import Patch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Patch",
+    "PatchDB",
+    "PatchRecord",
+    "__version__",
+    "extract_features",
+    "nearest_link_search",
+    "parse_patch",
+]

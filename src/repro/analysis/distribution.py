@@ -1,0 +1,70 @@
+"""Type-distribution statistics for the composition study (RQ4).
+
+Table V reports the security-patch pattern distribution of PatchDB; Fig. 6
+contrasts the NVD-based and wild-based distributions and observes a long
+tail.  These helpers compute the histograms, long-tail measures, and
+distribution distances those results rest on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ..corpus.vulnpatterns import PATTERN_NAMES
+
+__all__ = [
+    "type_distribution",
+    "distribution_table",
+    "head_share",
+    "gini_coefficient",
+    "total_variation_distance",
+    "rank_types",
+]
+
+
+def type_distribution(types: list[int]) -> dict[int, float]:
+    """Normalized histogram over the 12 pattern types (missing types = 0)."""
+    counts = Counter(types)
+    total = sum(counts.values())
+    if total == 0:
+        return {t: 0.0 for t in PATTERN_NAMES}
+    return {t: counts.get(t, 0) / total for t in PATTERN_NAMES}
+
+
+def distribution_table(dist: dict[int, float], title: str = "") -> str:
+    """Render a distribution as a Table V-style text table."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'ID':>3s}  {'Type of patch pattern':<40s} {'%':>6s}")
+    for t in sorted(PATTERN_NAMES):
+        lines.append(f"{t:>3d}  {PATTERN_NAMES[t]:<40s} {dist.get(t, 0.0):>6.1%}")
+    return "\n".join(lines)
+
+
+def rank_types(dist: dict[int, float]) -> list[int]:
+    """Type ids ordered by descending share."""
+    return sorted(dist, key=lambda t: (-dist[t], t))
+
+
+def head_share(dist: dict[int, float], k: int = 3) -> float:
+    """Combined share of the top-*k* classes (the long-tail 'head')."""
+    return float(sum(sorted(dist.values(), reverse=True)[:k]))
+
+
+def gini_coefficient(dist: dict[int, float]) -> float:
+    """Gini coefficient of the share vector (0 = uniform, →1 = concentrated)."""
+    shares = np.sort(np.array(list(dist.values()), dtype=np.float64))
+    n = shares.size
+    if n == 0 or shares.sum() == 0:
+        return 0.0
+    cum = np.cumsum(shares)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+def total_variation_distance(a: dict[int, float], b: dict[int, float]) -> float:
+    """TV distance between two type distributions (0 = identical, 1 = disjoint)."""
+    keys = set(a) | set(b)
+    return 0.5 * float(sum(abs(a.get(k, 0.0) - b.get(k, 0.0)) for k in keys))

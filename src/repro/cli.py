@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``build``     — run the full construction pipeline, write a PatchDB JSONL.
+* ``stats``     — summarize an existing PatchDB JSONL (counts, composition).
+* ``features``  — print the Table I feature vector of a ``.patch`` file.
+* ``categorize``— print the Table V pattern type of a ``.patch`` file.
+* ``synthesize``— apply the Fig. 5 variants to a before/after file pair.
+
+The CLI wraps the library one-to-one; every command is also available
+programmatically (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.experiments import MEDIUM, SMALL, TINY, ExperimentWorld, build_patchdb
+from .core.categorize import categorize_patch
+from .core.patchdb import PatchDB
+from .corpus.vulnpatterns import PATTERN_NAMES
+from .features.extractor import extract_features
+from .features.vector import FEATURE_NAMES
+from .patch.gitformat import parse_patch
+
+_SCALES = {"tiny": TINY, "small": SMALL, "medium": MEDIUM}
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale]
+    print(f"building {scale.name} world (seed {args.seed})...", file=sys.stderr)
+    ew = ExperimentWorld(scale, seed=args.seed)
+    db = build_patchdb(ew, synthesize=not args.no_synthetic)
+    db.save_jsonl(args.output)
+    for key, value in db.summary().items():
+        print(f"{key:>24s}: {value}")
+    print(f"wrote {len(db)} records to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    db = PatchDB.load_jsonl(args.patchdb)
+    for key, value in db.summary().items():
+        print(f"{key:>24s}: {value}")
+    from collections import Counter
+
+    types = Counter(
+        r.pattern_type for r in db.records(is_security=True) if r.pattern_type is not None
+    )
+    total = sum(types.values())
+    if total:
+        print("\nsecurity patch composition:")
+        for t in sorted(PATTERN_NAMES):
+            share = types.get(t, 0) / total
+            print(f"  {t:>2d} {PATTERN_NAMES[t]:<40s} {share:6.1%}")
+    return 0
+
+
+def _read_patch(path: str):
+    return parse_patch(Path(path).read_text())
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    patch = _read_patch(args.patch)
+    vec = extract_features(patch)
+    for name, value in zip(FEATURE_NAMES, vec):
+        if value != 0 or args.all:
+            print(f"{name:>28s}: {value:g}")
+    return 0
+
+
+def _cmd_categorize(args: argparse.Namespace) -> int:
+    patch = _read_patch(args.patch)
+    kind = categorize_patch(patch)
+    print(f"{kind}\t{PATTERN_NAMES[kind]}")
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from .diffing.unified_gen import diff_texts
+    from .patch.unified import render_file_diff
+    from .synthesis.variants import VARIANTS
+    from .synthesis.engine import synthesize_from_texts
+
+    before = Path(args.before).read_text()
+    after = Path(args.after).read_text()
+    produced = 0
+    for variant in VARIANTS:
+        if args.variant and variant.variant_id != args.variant:
+            continue
+        result = synthesize_from_texts(before, after, args.before, variant, side=args.side)
+        if result is None:
+            continue
+        new_before, new_after = result
+        print(f"# variant {variant.variant_id}: {variant.description}")
+        print(render_file_diff(diff_texts(new_before, new_after, args.before)))
+        print()
+        produced += 1
+    if not produced:
+        print("no if-statement site found in the changed region", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="run the full PatchDB construction pipeline")
+    p_build.add_argument("output", help="output JSONL path")
+    p_build.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    p_build.add_argument("--seed", type=int, default=2021)
+    p_build.add_argument("--no-synthetic", action="store_true", help="skip oversampling")
+    p_build.set_defaults(func=_cmd_build)
+
+    p_stats = sub.add_parser("stats", help="summarize a PatchDB JSONL")
+    p_stats.add_argument("patchdb", help="PatchDB JSONL path")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_feat = sub.add_parser("features", help="Table I features of a .patch file")
+    p_feat.add_argument("patch", help=".patch file path")
+    p_feat.add_argument("--all", action="store_true", help="include zero-valued features")
+    p_feat.set_defaults(func=_cmd_features)
+
+    p_cat = sub.add_parser("categorize", help="Table V pattern type of a .patch file")
+    p_cat.add_argument("patch", help=".patch file path")
+    p_cat.set_defaults(func=_cmd_categorize)
+
+    p_syn = sub.add_parser("synthesize", help="apply Fig. 5 variants to a file pair")
+    p_syn.add_argument("before", help="pre-patch file")
+    p_syn.add_argument("after", help="post-patch file")
+    p_syn.add_argument("--variant", type=int, choices=range(1, 9), default=None)
+    p_syn.add_argument("--side", choices=("before", "after"), default="after")
+    p_syn.set_defaults(func=_cmd_synthesize)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

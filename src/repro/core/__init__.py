@@ -1,0 +1,46 @@
+"""PatchDB core: the paper's contributed pipelines.
+
+Nearest link search (Algorithm 1), the human-in-the-loop augmentation
+scheme (Fig. 2), the Table III baselines, the verification oracle, the
+Table V categorizer, feature caching, and the PatchDB dataset container.
+"""
+
+from .augmentation import AugmentationOutcome, DatasetAugmentation, RoundResult, SearchSet
+from .baselines import (
+    BaselineResult,
+    brute_force_candidates,
+    evaluate_candidates,
+    nearest_link_candidates,
+    pseudo_label_candidates,
+    uncertainty_candidates,
+)
+from .cache import PatchFeatureCache
+from .categorize import categorize_many, categorize_patch
+from .nearest_link import NearestLinkResult, exact_assignment, link_distances, nearest_link_search
+from .oracle import VerificationOracle, VerificationStats
+from .patchdb import SOURCES, PatchDB, PatchRecord
+
+__all__ = [
+    "AugmentationOutcome",
+    "BaselineResult",
+    "DatasetAugmentation",
+    "NearestLinkResult",
+    "PatchDB",
+    "PatchFeatureCache",
+    "PatchRecord",
+    "RoundResult",
+    "SOURCES",
+    "SearchSet",
+    "VerificationOracle",
+    "VerificationStats",
+    "brute_force_candidates",
+    "categorize_many",
+    "categorize_patch",
+    "evaluate_candidates",
+    "exact_assignment",
+    "link_distances",
+    "nearest_link_candidates",
+    "nearest_link_search",
+    "pseudo_label_candidates",
+    "uncertainty_candidates",
+]

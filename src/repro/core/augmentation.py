@@ -1,0 +1,159 @@
+"""Human-in-the-loop dataset augmentation (Fig. 2, Table II).
+
+The loop the paper runs five times: select candidates with nearest link
+search, send them to the verification panel, fold verified security patches
+back into the seed set, drop all reviewed candidates from the unlabeled
+pool, and repeat while the security yield stays above a threshold.
+
+``run_schedule`` reproduces the exact Table II protocol — several rounds on
+one search range (Set I), then fresh larger ranges (Sets II/III) — and
+returns one :class:`RoundResult` per row of the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AugmentationError
+from ..features.normalize import weighted_distance_matrix
+from .cache import PatchFeatureCache
+from .nearest_link import nearest_link_search
+from .oracle import VerificationOracle
+
+__all__ = ["RoundResult", "AugmentationOutcome", "DatasetAugmentation", "SearchSet"]
+
+
+@dataclass(frozen=True, slots=True)
+class SearchSet:
+    """One unlabeled wild pool with a number of rounds to run on it."""
+
+    name: str
+    shas: tuple[str, ...]
+    rounds: int
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1 or not self.shas:
+            raise AugmentationError("SearchSet needs shas and rounds >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class RoundResult:
+    """One row of Table II."""
+
+    round_no: int
+    set_name: str
+    search_range: int
+    candidates: int
+    verified_security: int
+
+    @property
+    def ratio(self) -> float:
+        """Verified security patches / candidates."""
+        return self.verified_security / self.candidates if self.candidates else 0.0
+
+    def row(self) -> str:
+        """Formatted table row."""
+        return (
+            f"{self.set_name:>12s}  round {self.round_no}: "
+            f"range={self.search_range:>7d} candidates={self.candidates:>6d} "
+            f"verified={self.verified_security:>6d} ratio={self.ratio:.0%}"
+        )
+
+
+@dataclass(slots=True)
+class AugmentationOutcome:
+    """Full outcome of an augmentation run."""
+
+    rounds: list[RoundResult] = field(default_factory=list)
+    security_shas: list[str] = field(default_factory=list)
+    non_security_shas: list[str] = field(default_factory=list)
+
+    @property
+    def wild_security_count(self) -> int:
+        """Security patches found in the wild (excludes the seed)."""
+        return sum(r.verified_security for r in self.rounds)
+
+    def table(self) -> str:
+        """The Table II analogue as text."""
+        return "\n".join(r.row() for r in self.rounds)
+
+
+class DatasetAugmentation:
+    """The augmentation loop bound to a world, oracle, and feature cache.
+
+    Args:
+        cache: feature cache over the world.
+        oracle: the verification panel.
+        ratio_threshold: stop early when a round's yield drops below this.
+    """
+
+    def __init__(
+        self,
+        cache: PatchFeatureCache,
+        oracle: VerificationOracle,
+        ratio_threshold: float = 0.0,
+    ) -> None:
+        if not 0.0 <= ratio_threshold <= 1.0:
+            raise AugmentationError("ratio_threshold must be in [0, 1]")
+        self._cache = cache
+        self._oracle = oracle
+        self.ratio_threshold = ratio_threshold
+
+    def run_round(
+        self, security_shas: list[str], pool: list[str]
+    ) -> tuple[list[str], list[str]]:
+        """One candidate-selection + verification round.
+
+        Args:
+            security_shas: the currently verified security patches.
+            pool: unlabeled wild shas to search.
+
+        Returns:
+            ``(verified_security, rejected)`` partition of the candidates.
+
+        Raises:
+            AugmentationError: if the pool is smaller than the seed set.
+        """
+        if len(pool) < len(security_shas):
+            raise AugmentationError(
+                f"pool ({len(pool)}) smaller than security set ({len(security_shas)})"
+            )
+        sec_matrix = self._cache.matrix(security_shas)
+        pool_matrix = self._cache.matrix(pool)
+        distance = weighted_distance_matrix(sec_matrix, pool_matrix)
+        result = nearest_link_search(distance)
+        candidate_idx = result.candidate_set
+        candidates = [pool[int(i)] for i in candidate_idx]
+        verdicts = self._oracle.verify_many(candidates)
+        verified = [s for s, v in zip(candidates, verdicts) if v]
+        rejected = [s for s, v in zip(candidates, verdicts) if not v]
+        return verified, rejected
+
+    def run_schedule(
+        self, seed_security_shas: list[str], sets: list[SearchSet]
+    ) -> AugmentationOutcome:
+        """Run the Table II protocol over the given search sets."""
+        outcome = AugmentationOutcome(security_shas=list(seed_security_shas))
+        round_no = 0
+        for search_set in sets:
+            pool = list(search_set.shas)
+            for _ in range(search_set.rounds):
+                round_no += 1
+                verified, rejected = self.run_round(outcome.security_shas, pool)
+                reviewed = set(verified) | set(rejected)
+                pool = [s for s in pool if s not in reviewed]
+                outcome.security_shas.extend(verified)
+                outcome.non_security_shas.extend(rejected)
+                result = RoundResult(
+                    round_no=round_no,
+                    set_name=search_set.name,
+                    search_range=len(pool) + len(reviewed),
+                    candidates=len(reviewed),
+                    verified_security=len(verified),
+                )
+                outcome.rounds.append(result)
+                if self.ratio_threshold and result.ratio < self.ratio_threshold:
+                    return outcome
+        return outcome

@@ -1,0 +1,57 @@
+"""Feature-vector caching over a world.
+
+Every experiment consumes the same Table I features for the same commits;
+this cache computes each sha's vector once and assembles matrices on
+demand.  It is deliberately tied to shas (not Patch objects) so the
+augmentation loop, baselines, and quality experiments share one cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..corpus.world import World
+from ..features.extractor import FeatureExtractor, RepoContext
+from ..features.vector import FEATURE_COUNT
+
+__all__ = ["PatchFeatureCache"]
+
+
+class PatchFeatureCache:
+    """Lazily-computed sha → feature-vector map for one world."""
+
+    def __init__(self, world: World, use_repo_context: bool = True) -> None:
+        self._world = world
+        self._vectors: dict[str, np.ndarray] = {}
+        self._extractors: dict[str, FeatureExtractor] = {}
+        self._use_context = use_repo_context
+
+    def _extractor_for(self, slug: str) -> FeatureExtractor:
+        extractor = self._extractors.get(slug)
+        if extractor is None:
+            context = None
+            if self._use_context:
+                files, funcs = self._world.repos[slug].stats_at_head()
+                context = RepoContext(total_files=files, total_functions=funcs)
+            extractor = FeatureExtractor(context)
+            self._extractors[slug] = extractor
+        return extractor
+
+    def vector(self, sha: str) -> np.ndarray:
+        """The 60-dim feature vector for one commit."""
+        vec = self._vectors.get(sha)
+        if vec is None:
+            label = self._world.label(sha)
+            patch = self._world.patch_for(sha)
+            vec = self._extractor_for(label.repo_slug).extract(patch)
+            self._vectors[sha] = vec
+        return vec
+
+    def matrix(self, shas: list[str]) -> np.ndarray:
+        """Stack vectors for *shas* into an ``(N, 60)`` matrix."""
+        if not shas:
+            return np.zeros((0, FEATURE_COUNT), dtype=np.float64)
+        return np.vstack([self.vector(s) for s in shas])
+
+    def __len__(self) -> int:
+        return len(self._vectors)

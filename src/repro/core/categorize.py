@@ -1,0 +1,170 @@
+"""Rule-based security-patch categorization (Table V taxonomy).
+
+Classifies a patch into the 12 code-change pattern types the paper uses for
+its composition study (RQ4).  The paper's authors labeled 5K patches by
+hand; this categorizer encodes the same decision criteria as rules over the
+diff so the composition experiments can label every patch in the corpus.
+
+Rule order follows specificity: exact statement movement and wholesale
+redesign are recognized before the finer-grained added-check rules, and
+"add or change function calls" / "others" act as the fallbacks, mirroring
+how the paper describes the categories.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..lang.lexer import code_tokens
+from ..lang.tokens import TokenKind
+from ..patch.model import Patch
+
+__all__ = ["categorize_patch", "categorize_many"]
+
+_BOUND_HINTS = re.compile(
+    r"\b(len|size|count|idx|index|offset|limit|cap|bound|max|min|buflen|n)\b|sizeof\s*\("
+)
+_NULL_HINTS = re.compile(r"\bNULL\b|!\s*[A-Za-z_]")
+_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|const\s+|unsigned\s+|signed\s+)*"
+    r"(?:void|char|short|int|long|float|double|size_t|ssize_t|u?int\d+_t|bool|struct\s+\w+)\b"
+)
+_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+_JUMP_RE = re.compile(r"^\s*(goto\s+\w+|break|continue)\s*;|^\s*\w+\s*:\s*$")
+_SIG_RE = re.compile(r"^[A-Za-z_][\w\s\*]*\b([A-Za-z_]\w*)\s*\(([^;{]*)\)?\s*\{?\s*$")
+_CONTROL_NAMES = frozenset({"if", "for", "while", "switch", "sizeof", "return"})
+
+
+def _norm(lines: tuple[str, ...] | list[str]) -> list[str]:
+    return sorted(" ".join(t.split()) for t in lines if t.strip())
+
+
+def _added_if_conditions(lines: list[str]) -> list[str]:
+    """Condition texts of `if (...)` occurrences across the lines."""
+    conditions: list[str] = []
+    text = "\n".join(lines)
+    for m in re.finditer(r"\bif\s*\(", text):
+        depth = 1
+        i = m.end()
+        start = i
+        while i < len(text) and depth:
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+            i += 1
+        conditions.append(text[start : i - 1])
+    return conditions
+
+
+def _call_names(lines: list[str]) -> list[str]:
+    names = []
+    for line in lines:
+        for m in _CALL_RE.finditer(line):
+            if m.group(1) not in _CONTROL_NAMES:
+                names.append(m.group(1))
+    return names
+
+
+def _decl_heads(lines: list[str]) -> dict[str, str]:
+    """var name → declaration line for declaration-looking lines."""
+    heads: dict[str, str] = {}
+    for line in lines:
+        if not _DECL_RE.match(line) or "(" in line.split("=")[0]:
+            continue
+        toks = [t for t in code_tokens(line) if t.kind is TokenKind.IDENTIFIER]
+        if toks:
+            heads[toks[-1].text if "=" not in line else toks[0].text] = line.strip()
+    return heads
+
+
+def _signatures(lines: list[str]) -> dict[str, str]:
+    """function name → signature line for definition-looking lines."""
+    sigs: dict[str, str] = {}
+    for line in lines:
+        if line.startswith((" ", "\t")) or line.strip().endswith(";"):
+            continue
+        m = _SIG_RE.match(line.strip())
+        if m:
+            sigs[m.group(1)] = line.strip()
+    return sigs
+
+
+def categorize_patch(patch: Patch) -> int:
+    """Assign one of the 12 Table V types to a security patch."""
+    added = patch.added_lines()
+    removed = patch.removed_lines()
+
+    # Type 10: pure movement — same statements, different place.
+    norm_add, norm_rem = _norm(added), _norm(removed)
+    if norm_add and norm_add == norm_rem:
+        return 10
+
+    # Type 11: redesign — large rewrites or whole added/removed functions.
+    added_sigs = _signatures(added)
+    removed_sigs = _signatures(removed)
+    new_functions = set(added_sigs) - set(removed_sigs)
+    if (len(added) + len(removed) >= 16 and len(removed) >= 4) or (
+        new_functions and len(added) >= 10
+    ):
+        return 11
+
+    # Types 6/7: signature changes (same function, different decl).
+    common_fns = set(added_sigs) & set(removed_sigs)
+    for name in common_fns:
+        before, after = removed_sigs[name], added_sigs[name]
+        if before != after:
+            before_params = before[before.find("(") :]
+            after_params = after[after.find("(") :]
+            if before_params != after_params:
+                return 7
+            return 6
+
+    # Types 1/2/3: added or changed checks.
+    add_conditions = _added_if_conditions(list(added))
+    rem_conditions = _added_if_conditions(list(removed))
+    if len(add_conditions) > 0 and len(add_conditions) >= len(rem_conditions):
+        fresh = [c for c in add_conditions if c not in rem_conditions]
+        if fresh:
+            joined = " ".join(fresh)
+            if _NULL_HINTS.search(joined) and ("NULL" in joined or joined.strip().startswith("!")):
+                return 2
+            if _BOUND_HINTS.search(joined) and re.search(r"[<>]=?", joined):
+                return 1
+            return 3
+
+    # Type 4: declaration type changes (same var, different head).
+    add_decls = _decl_heads(list(added))
+    rem_decls = _decl_heads(list(removed))
+    for var in set(add_decls) & set(rem_decls):
+        if add_decls[var] != rem_decls[var]:
+            return 4
+
+    # Type 5: value changes — paired lines differing only right of '='.
+    rem_lhs = {l.split("=")[0].strip(): l for l in removed if "=" in l and "==" not in l}
+    for line in added:
+        if "=" in line and "==" not in line:
+            lhs = line.split("=")[0].strip()
+            if lhs in rem_lhs and rem_lhs[lhs].strip() != line.strip():
+                return 5
+    if any("memset" in l for l in added) and not removed:
+        return 5
+
+    # Type 9: jump statement changes.
+    add_jumps = sum(1 for l in added if _JUMP_RE.match(l))
+    rem_jumps = sum(1 for l in removed if _JUMP_RE.match(l))
+    if add_jumps > rem_jumps:
+        return 9
+
+    # Type 8: function call changes.
+    add_calls = _call_names(list(added))
+    rem_calls = _call_names(list(removed))
+    if len(add_calls) > len(rem_calls) or set(add_calls) - set(rem_calls):
+        return 8
+
+    return 12
+
+
+def categorize_many(patches: list[Patch]) -> list[int]:
+    """Bulk :func:`categorize_patch`."""
+    return [categorize_patch(p) for p in patches]

@@ -1,0 +1,81 @@
+"""The manual-verification oracle.
+
+The paper's augmentation loop sends each candidate to three security
+researchers who label independently and cross-check (§IV-A).  Our stand-in
+consults the world's ground truth through a configurable annotator panel:
+each simulated annotator flips the true label with probability
+``annotator_error_rate`` and the panel's majority vote is returned, so both
+the perfect-expert case (error 0) and noisy-labeling studies are expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..corpus.world import World
+from ..errors import AugmentationError
+from ..ml.base import seeded_rng
+
+__all__ = ["VerificationOracle", "VerificationStats"]
+
+
+@dataclass(slots=True)
+class VerificationStats:
+    """Aggregate effort counters for an oracle's lifetime."""
+
+    candidates_reviewed: int = 0
+    labeled_security: int = 0
+    disagreements: int = 0
+
+    @property
+    def labeled_non_security(self) -> int:
+        """Candidates the panel rejected."""
+        return self.candidates_reviewed - self.labeled_security
+
+
+class VerificationOracle:
+    """Simulated expert panel over world ground truth.
+
+    Args:
+        world: the world whose labels are consulted.
+        n_annotators: panel size (the paper uses 3).
+        annotator_error_rate: per-annotator label-flip probability.
+        seed: RNG for error injection.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        n_annotators: int = 3,
+        annotator_error_rate: float = 0.0,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_annotators < 1 or n_annotators % 2 == 0:
+            raise AugmentationError("n_annotators must be odd and >= 1")
+        if not 0.0 <= annotator_error_rate < 0.5:
+            raise AugmentationError("annotator_error_rate must be in [0, 0.5)")
+        self._world = world
+        self.n_annotators = n_annotators
+        self.annotator_error_rate = annotator_error_rate
+        self._rng = seeded_rng(seed)
+        self.stats = VerificationStats()
+
+    def verify(self, sha: str) -> bool:
+        """Panel-label one candidate: True = security patch."""
+        truth = self._world.label(sha).is_security
+        votes = 0
+        for _ in range(self.n_annotators):
+            flip = self._rng.random() < self.annotator_error_rate
+            votes += int(truth ^ flip)
+        decision = votes * 2 > self.n_annotators
+        self.stats.candidates_reviewed += 1
+        self.stats.labeled_security += int(decision)
+        if 0 < votes < self.n_annotators:
+            self.stats.disagreements += 1
+        return decision
+
+    def verify_many(self, shas: list[str]) -> np.ndarray:
+        """Vectorized :meth:`verify` over a candidate list."""
+        return np.array([self.verify(s) for s in shas], dtype=bool)

@@ -1,0 +1,148 @@
+"""The PatchDB dataset container and its JSONL persistence.
+
+Holds the three components the paper releases — NVD-based, wild-based, and
+synthetic — for both security and non-security patches, with per-record
+provenance.  Records serialize to JSON lines with the patch embedded as
+``git format-patch`` text, so a saved PatchDB is both machine-readable and
+human-diffable, like the real release.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..errors import ReproError
+from ..patch.gitformat import parse_patch, render_mbox_patch
+from ..patch.model import Patch
+
+__all__ = ["PatchRecord", "PatchDB", "SOURCES"]
+
+#: Valid provenance tags.
+SOURCES = ("nvd", "wild", "synthetic")
+
+
+@dataclass(frozen=True, slots=True)
+class PatchRecord:
+    """One PatchDB entry.
+
+    Attributes:
+        patch: the patch itself.
+        source: provenance — ``"nvd"``, ``"wild"``, or ``"synthetic"``.
+        is_security: the (verified) label.
+        pattern_type: Table V type when known.
+        cve_id: associated CVE for NVD-based records.
+    """
+
+    patch: Patch
+    source: str
+    is_security: bool
+    pattern_type: int | None = None
+    cve_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.source not in SOURCES:
+            raise ReproError(f"unknown source {self.source!r}")
+
+    def to_json(self) -> str:
+        """Serialize to one JSON line."""
+        return json.dumps(
+            {
+                "sha": self.patch.sha,
+                "repo": self.patch.repo,
+                "source": self.source,
+                "is_security": self.is_security,
+                "pattern_type": self.pattern_type,
+                "cve_id": self.cve_id,
+                "patch_text": render_mbox_patch(self.patch),
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "PatchRecord":
+        """Parse one JSON line back into a record."""
+        data = json.loads(line)
+        patch = parse_patch(data["patch_text"], repo=data.get("repo", ""))
+        return cls(
+            patch=patch,
+            source=data["source"],
+            is_security=data["is_security"],
+            pattern_type=data.get("pattern_type"),
+            cve_id=data.get("cve_id"),
+        )
+
+
+class PatchDB:
+    """The dataset: an ordered collection of :class:`PatchRecord`."""
+
+    def __init__(self, records: Iterable[PatchRecord] = ()) -> None:
+        self._records: list[PatchRecord] = list(records)
+
+    # ---- mutation -----------------------------------------------------
+
+    def add(self, record: PatchRecord) -> None:
+        """Append one record."""
+        self._records.append(record)
+
+    def extend(self, records: Iterable[PatchRecord]) -> None:
+        """Append many records."""
+        self._records.extend(records)
+
+    # ---- views --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PatchRecord]:
+        return iter(self._records)
+
+    def records(
+        self, source: str | None = None, is_security: bool | None = None
+    ) -> list[PatchRecord]:
+        """Filtered records."""
+        out = self._records
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        if is_security is not None:
+            out = [r for r in out if r.is_security == is_security]
+        return list(out)
+
+    def patches(self, source: str | None = None, is_security: bool | None = None) -> list[Patch]:
+        """Filtered patches."""
+        return [r.patch for r in self.records(source, is_security)]
+
+    def summary(self) -> dict[str, int]:
+        """Headline counts matching the paper's abstract numbers."""
+        return {
+            "total": len(self),
+            "security": sum(1 for r in self if r.is_security),
+            "non_security": sum(1 for r in self if not r.is_security),
+            "nvd_security": len(self.records("nvd", True)),
+            "wild_security": len(self.records("wild", True)),
+            "synthetic_security": len(self.records("synthetic", True)),
+            "synthetic_non_security": len(self.records("synthetic", False)),
+        }
+
+    # ---- persistence -----------------------------------------------------
+
+    def save_jsonl(self, path: str | Path) -> None:
+        """Write all records to a JSONL file."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self._records:
+                fh.write(record.to_json())
+                fh.write("\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "PatchDB":
+        """Read a PatchDB back from JSONL."""
+        path = Path(path)
+        records = []
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(PatchRecord.from_json(line))
+        return cls(records)

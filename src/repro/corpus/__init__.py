@@ -1,0 +1,36 @@
+"""Synthetic corpus: procedural C projects, patch generators, world builder.
+
+Stands in for GitHub's 6M wild commits.  See DESIGN.md's substitution table
+for why a generative corpus with ground truth preserves the behaviour the
+paper's pipelines depend on.
+"""
+
+from .codegen import CodeGenerator, GeneratedFile, GeneratedFunction
+from .nonsec import NONSEC_GENERATORS, NONSEC_KINDS, apply_nonsec_pattern
+from .vulnpatterns import PATTERN_NAMES, SECURITY_GENERATORS, apply_security_pattern
+from .world import (
+    NVD_TYPE_DISTRIBUTION,
+    WILD_TYPE_DISTRIBUTION,
+    CommitLabel,
+    World,
+    WorldConfig,
+    build_world,
+)
+
+__all__ = [
+    "CodeGenerator",
+    "CommitLabel",
+    "GeneratedFile",
+    "GeneratedFunction",
+    "NONSEC_GENERATORS",
+    "NONSEC_KINDS",
+    "NVD_TYPE_DISTRIBUTION",
+    "PATTERN_NAMES",
+    "SECURITY_GENERATORS",
+    "WILD_TYPE_DISTRIBUTION",
+    "World",
+    "WorldConfig",
+    "apply_nonsec_pattern",
+    "apply_security_pattern",
+    "build_world",
+]

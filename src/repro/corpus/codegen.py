@@ -1,0 +1,273 @@
+"""Procedural C code generation.
+
+Generates plausible C files — headers, globals, and functions whose bodies
+mix declarations, calls, arithmetic, conditionals, and loops — that lex and
+parse with :mod:`repro.lang`.  The generated code is the raw material the
+patch generators in :mod:`repro.corpus.vulnpatterns` and
+:mod:`repro.corpus.nonsec` later modify, so realism targets the *syntactic
+feature space* of Table I rather than compilability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ml.base import seeded_rng
+
+__all__ = ["CodeGenerator", "GeneratedFunction", "GeneratedFile"]
+
+_NOUNS = (
+    "buf data ptr len size count idx offset pkt msg hdr ctx state conn req "
+    "resp node list entry key val name path file dev reg addr mask flags opt "
+    "cfg arg tmp ret status err code num pos limit cap width height depth "
+    "chan frame seq id token hash sum crc block page slot queue pool cache "
+    "table row col item elem field rec buf2 src dst out in"
+).split()
+
+_VERBS = (
+    "init parse read write alloc free check validate update process handle "
+    "get set compute encode decode copy find insert remove open close send "
+    "recv flush reset load store scan emit pack unpack sync push pop"
+).split()
+
+_MODULES = (
+    "bits core util proto net io mem str list hash crypto codec dev fs sock "
+    "buf pkt tls http json xml db log evt tty usb pci vid img snd"
+).split()
+
+_SCALAR_TYPES = ("int", "unsigned int", "size_t", "long", "uint32_t", "uint8_t", "short")
+_PTR_TYPES = ("char *", "unsigned char *", "void *", "uint8_t *", "const char *")
+_CMP_OPS = ("<", ">", "<=", ">=", "==", "!=")
+_ARITH_OPS = ("+", "-", "*", "/", "%")
+_BIT_OPS = ("&", "|", "^", "<<", ">>")
+
+
+@dataclass(slots=True)
+class GeneratedFunction:
+    """A generated function: its signature pieces and body lines."""
+
+    name: str
+    return_type: str
+    params: list[tuple[str, str]]  # (type, name)
+    body_lines: list[str]
+    local_vars: list[tuple[str, str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The function's full source text."""
+        params = ", ".join(f"{t}{n}" if t.endswith("*") else f"{t} {n}" for t, n in self.params)
+        if not params:
+            params = "void"
+        lines = [f"{self.return_type} {self.name}({params})", "{"]
+        lines.extend(self.body_lines)
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class GeneratedFile:
+    """A generated source file: path, includes, and functions."""
+
+    path: str
+    includes: list[str]
+    globals_: list[str]
+    functions: list[GeneratedFunction]
+
+    def render(self) -> str:
+        """The file's full source text."""
+        parts = [f"#include <{inc}>" for inc in self.includes]
+        parts.append("")
+        parts.extend(self.globals_)
+        if self.globals_:
+            parts.append("")
+        for fn in self.functions:
+            parts.append(fn.render())
+            parts.append("")
+        return "\n".join(parts) + "\n"
+
+
+class CodeGenerator:
+    """Deterministic pseudo-random C generator.
+
+    Args:
+        rng: NumPy generator or seed controlling all choices.
+    """
+
+    def __init__(self, rng: int | np.random.Generator | None = None) -> None:
+        self._rng = seeded_rng(rng)
+        self._fn_counter = 0
+
+    # ---- naming -------------------------------------------------------
+
+    def _pick(self, pool: tuple | list) -> str:
+        return pool[int(self._rng.integers(0, len(pool)))]
+
+    def noun(self) -> str:
+        """A plausible variable-ish identifier."""
+        return self._pick(_NOUNS)
+
+    def func_name(self, module: str | None = None) -> str:
+        """A unique plausible function name."""
+        self._fn_counter += 1
+        verb = self._pick(_VERBS)
+        noun = self.noun()
+        prefix = f"{module}_" if module else ""
+        return f"{prefix}{verb}_{noun}_{self._fn_counter}"
+
+    def module_name(self) -> str:
+        """A module slug used for file names and function prefixes."""
+        return self._pick(_MODULES)
+
+    # ---- expressions ----------------------------------------------------
+
+    def _var_of(self, fn: GeneratedFunction) -> str:
+        candidates = [n for _, n in fn.local_vars + fn.params]
+        return self._pick(candidates) if candidates else "ret"
+
+    def _scalar_expr(self, fn: GeneratedFunction, depth: int = 0) -> str:
+        roll = self._rng.random()
+        if roll < 0.35 or depth >= 2:
+            return self._var_of(fn)
+        if roll < 0.55:
+            return str(int(self._rng.integers(0, 256)))
+        if roll < 0.8:
+            op = self._pick(_ARITH_OPS)
+            return f"{self._var_of(fn)} {op} {self._scalar_expr(fn, depth + 1)}"
+        op = self._pick(_BIT_OPS)
+        return f"({self._var_of(fn)} {op} 0x{int(self._rng.integers(1, 255)):02x})"
+
+    def condition(self, fn: GeneratedFunction) -> str:
+        """A boolean condition over the function's variables."""
+        roll = self._rng.random()
+        if roll < 0.4:
+            return f"{self._var_of(fn)} {self._pick(_CMP_OPS)} {self._scalar_expr(fn, 1)}"
+        if roll < 0.6:
+            return f"!{self._var_of(fn)}"
+        if roll < 0.8:
+            left = f"{self._var_of(fn)} {self._pick(_CMP_OPS)} {int(self._rng.integers(0, 128))}"
+            right = f"{self._var_of(fn)} {self._pick(_CMP_OPS)} {self._var_of(fn)}"
+            return f"{left} && {right}"
+        return f"({self._var_of(fn)} & 0x{int(self._rng.integers(1, 64)):02x})"
+
+    # ---- statements -----------------------------------------------------
+
+    def _stmt_assign(self, fn: GeneratedFunction, indent: str) -> list[str]:
+        return [f"{indent}{self._var_of(fn)} = {self._scalar_expr(fn)};"]
+
+    def _stmt_call(self, fn: GeneratedFunction, indent: str) -> list[str]:
+        callee = f"{self._pick(_VERBS)}_{self.noun()}"
+        args = ", ".join(self._var_of(fn) for _ in range(int(self._rng.integers(1, 4))))
+        if self._rng.random() < 0.4:
+            return [f"{indent}{self._var_of(fn)} = {callee}({args});"]
+        return [f"{indent}{callee}({args});"]
+
+    def _stmt_if(self, fn: GeneratedFunction, indent: str) -> list[str]:
+        lines = [f"{indent}if ({self.condition(fn)}) {{"]
+        lines.extend(self._stmt_assign(fn, indent + "    "))
+        if self._rng.random() < 0.4:
+            lines.extend(self._stmt_call(fn, indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+
+    def _stmt_if_return(self, fn: GeneratedFunction, indent: str) -> list[str]:
+        value = "-1" if fn.return_type != "void" else ""
+        ret = f"return {value};".replace(" ;", ";")
+        return [f"{indent}if ({self.condition(fn)})", f"{indent}    {ret}"]
+
+    def _stmt_for(self, fn: GeneratedFunction, indent: str) -> list[str]:
+        i = self._pick(("i", "j", "k"))
+        bound = self._var_of(fn)
+        lines = [f"{indent}for ({i} = 0; {i} < {bound}; {i}++) {{"]
+        lines.extend(self._stmt_assign(fn, indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+
+    def _stmt_while(self, fn: GeneratedFunction, indent: str) -> list[str]:
+        lines = [f"{indent}while ({self.condition(fn)}) {{"]
+        lines.extend(self._stmt_call(fn, indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+
+    def _stmt_memcall(self, fn: GeneratedFunction, indent: str) -> list[str]:
+        buf = self._var_of(fn)
+        roll = self._rng.random()
+        if roll < 0.4:
+            return [f"{indent}{buf} = malloc({self._var_of(fn)} * sizeof(int));"]
+        if roll < 0.7:
+            return [f"{indent}memcpy({buf}, {self._var_of(fn)}, {self._var_of(fn)});"]
+        return [f"{indent}memset({buf}, 0, sizeof({buf}));"]
+
+    # ---- functions & files ----------------------------------------------
+
+    def gen_function(self, module: str | None = None) -> GeneratedFunction:
+        """Generate one function with a 6-20 line body."""
+        rng = self._rng
+        return_type = self._pick(("int", "int", "int", "void", "size_t", "long"))
+        n_params = int(rng.integers(1, 4))
+        params: list[tuple[str, str]] = []
+        used: set[str] = set()
+        for _ in range(n_params):
+            name = self.noun()
+            while name in used:
+                name = self.noun()
+            used.add(name)
+            ptype = self._pick(_PTR_TYPES) if rng.random() < 0.4 else self._pick(_SCALAR_TYPES) + " "
+            params.append((ptype, name))
+        fn = GeneratedFunction(
+            name=self.func_name(module),
+            return_type=return_type,
+            params=params,
+            body_lines=[],
+        )
+        indent = "    "
+        # Declarations.
+        n_decls = int(rng.integers(2, 5))
+        fn.body_lines.append(f"{indent}int i, j;")
+        fn.local_vars.append(("int", "i"))
+        fn.local_vars.append(("int", "j"))
+        for _ in range(n_decls):
+            name = self.noun()
+            if name in used:
+                continue
+            used.add(name)
+            dtype = self._pick(_SCALAR_TYPES)
+            init = f" = {int(rng.integers(0, 64))}" if rng.random() < 0.6 else ""
+            fn.body_lines.append(f"{indent}{dtype} {name}{init};")
+            fn.local_vars.append((dtype, name))
+        fn.body_lines.append("")
+        # Statements.
+        makers = (
+            (self._stmt_assign, 0.30),
+            (self._stmt_call, 0.20),
+            (self._stmt_if, 0.16),
+            (self._stmt_if_return, 0.08),
+            (self._stmt_for, 0.10),
+            (self._stmt_while, 0.06),
+            (self._stmt_memcall, 0.10),
+        )
+        weights = np.array([w for _, w in makers])
+        weights /= weights.sum()
+        n_stmts = int(rng.integers(4, 10))
+        for _ in range(n_stmts):
+            maker = makers[int(rng.choice(len(makers), p=weights))][0]
+            fn.body_lines.extend(maker(fn, indent))
+        if fn.return_type != "void":
+            fn.body_lines.append(f"{indent}return {self._var_of(fn)};")
+        return fn
+
+    def gen_file(self, directory: str = "src", n_functions: int | None = None) -> GeneratedFile:
+        """Generate a file with several functions."""
+        rng = self._rng
+        module = self.module_name()
+        n = n_functions if n_functions is not None else int(rng.integers(2, 6))
+        includes = ["stdio.h", "stdlib.h", "string.h"]
+        globals_ = [f"static int {module}_{self.noun()}_max = {int(rng.integers(16, 4096))};"]
+        functions = [self.gen_function(module) for _ in range(n)]
+        suffix = int(rng.integers(0, 10_000))
+        return GeneratedFile(
+            path=f"{directory}/{module}_{suffix}.c",
+            includes=includes,
+            globals_=globals_,
+            functions=functions,
+        )

@@ -1,0 +1,367 @@
+"""The synthetic world: repositories, commit histories, and ground truth.
+
+This module replaces GitHub + the human-labeled reality behind it.  It
+builds a configurable number of repositories, then drives their histories
+forward with a mixture of security patches (drawn from the Table V pattern
+taxonomy) and non-security changes, recording a ground-truth label for every
+commit.  Key dials mirror the paper's measured world:
+
+* ``security_fraction`` — P(commit is a security patch); the paper observes
+  6-10% in the wild (§III-A).
+* ``nvd_report_fraction`` — P(a security patch is reported to a CVE and
+  hence visible to the NVD); the remainder are *silent* security patches.
+* Per-source pattern-type distributions — the NVD skews long-tail with
+  redesign/sanity-check heads while the wild is function-call-heavy
+  (Fig. 6); the defaults encode those shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CorpusError
+from ..ml.base import seeded_rng
+from ..patch.model import Patch
+from ..vcs.repository import Repository
+from .codegen import CodeGenerator
+from .nonsec import NONSEC_GENERATORS, NONSEC_KIND_WEIGHTS, apply_nonsec_pattern
+from .vulnpatterns import PATTERN_NAMES, apply_security_pattern
+
+__all__ = [
+    "WorldConfig",
+    "CommitLabel",
+    "World",
+    "build_world",
+    "NVD_TYPE_DISTRIBUTION",
+    "WILD_TYPE_DISTRIBUTION",
+]
+
+#: Pattern-type distribution of NVD-reported security patches (Fig. 6 left):
+#: long tail with Type 11 (redesign) as the head class.
+NVD_TYPE_DISTRIBUTION: dict[int, float] = {
+    11: 0.30,
+    3: 0.17,
+    1: 0.13,
+    8: 0.10,
+    2: 0.08,
+    5: 0.07,
+    4: 0.05,
+    10: 0.04,
+    7: 0.025,
+    6: 0.017,
+    9: 0.012,
+    12: 0.006,
+}
+
+#: Pattern-type distribution of wild (silent) security patches (Fig. 6
+#: right): Type 8 (function calls) becomes the head class.
+WILD_TYPE_DISTRIBUTION: dict[int, float] = {
+    8: 0.28,
+    3: 0.18,
+    1: 0.10,
+    2: 0.10,
+    5: 0.09,
+    10: 0.06,
+    4: 0.05,
+    11: 0.05,
+    7: 0.035,
+    6: 0.025,
+    9: 0.02,
+    12: 0.01,
+}
+
+_EXPLICIT_MESSAGES = (
+    "Fix buffer overflow in {anchor}",
+    "CVE-{year}-{num}: prevent out-of-bounds access in {anchor}",
+    "fix use-after-free in {anchor}",
+    "avoid integer overflow when parsing {anchor}",
+    "prevent NULL pointer dereference in {anchor}",
+    "security: validate {anchor} before use",
+)
+
+_SILENT_MESSAGES = (
+    "fix crash in {anchor}",
+    "handle edge case in {anchor}",
+    "fix potential issue with {anchor}",
+    "robustness fix for {anchor}",
+    "don't trust input length in {anchor}",
+    "correct {anchor} handling",
+)
+
+_NONSEC_MESSAGES: dict[str, tuple[str, ...]] = {
+    "feature": ("add support for {anchor}", "implement {anchor} handling", "new {anchor} API"),
+    "refactor": ("refactor {anchor}", "rename fields in {anchor}", "simplify {anchor}"),
+    "perf": ("speed up {anchor} path", "optimize {anchor} loop", "reduce copies in {anchor}"),
+    "bugfix": ("fix wrong result in {anchor}", "fix off-by-one in {anchor} output", "fix {anchor} corner case"),
+    "cleanup": ("remove dead code in {anchor}", "cleanup {anchor}", "drop unused statement in {anchor}"),
+    "logging": ("add debug logging to {anchor}", "improve diagnostics in {anchor}", "trace {anchor} values"),
+    "defensive": ("validate {anchor} argument", "harden {anchor} against bad input", "add missing parameter check in {anchor}"),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CommitLabel:
+    """Ground truth for one commit in the world.
+
+    Attributes:
+        sha: commit id.
+        repo_slug: owning repository.
+        is_security: whether the change fixes a vulnerability.
+        pattern_type: Table V type (1-12) for security patches, else None.
+        nonsec_kind: non-security category, else None.
+        cve_id: assigned CVE (NVD-visible security patches only).
+        silent: security patch with no CVE and a non-security-sounding message.
+    """
+
+    sha: str
+    repo_slug: str
+    is_security: bool
+    pattern_type: int | None = None
+    nonsec_kind: str | None = None
+    cve_id: str | None = None
+    silent: bool = False
+
+
+@dataclass(slots=True)
+class WorldConfig:
+    """Knobs for :func:`build_world`.
+
+    Attributes mirror the paper's measured quantities; see module docstring.
+    """
+
+    n_repos: int = 8
+    files_per_repo: int = 4
+    functions_per_file: int = 4
+    n_commits: int = 400
+    security_fraction: float = 0.08
+    nvd_report_fraction: float = 0.35
+    explicit_message_fraction: float = 0.45
+    seed: int = 2021
+    nvd_type_distribution: dict[int, float] = field(
+        default_factory=lambda: dict(NVD_TYPE_DISTRIBUTION)
+    )
+    wild_type_distribution: dict[int, float] = field(
+        default_factory=lambda: dict(WILD_TYPE_DISTRIBUTION)
+    )
+
+    def validate(self) -> None:
+        """Sanity-check the configuration.
+
+        Raises:
+            CorpusError: on out-of-range values.
+        """
+        if self.n_repos < 1 or self.n_commits < 0:
+            raise CorpusError("n_repos >= 1 and n_commits >= 0 required")
+        if not 0.0 <= self.security_fraction <= 1.0:
+            raise CorpusError("security_fraction must be in [0, 1]")
+        if not 0.0 <= self.nvd_report_fraction <= 1.0:
+            raise CorpusError("nvd_report_fraction must be in [0, 1]")
+        for dist in (self.nvd_type_distribution, self.wild_type_distribution):
+            if abs(sum(dist.values()) - 1.0) > 1e-6:
+                raise CorpusError("type distribution must sum to 1")
+            if set(dist) - set(PATTERN_NAMES):
+                raise CorpusError("type distribution has unknown pattern ids")
+
+
+class World:
+    """The built world: repositories plus ground truth."""
+
+    def __init__(self, repos: dict[str, Repository], labels: dict[str, CommitLabel]) -> None:
+        self.repos = repos
+        self.labels = labels
+        self._patch_cache: dict[str, Patch] = {}
+
+    # ---- views --------------------------------------------------------
+
+    def all_shas(self) -> list[str]:
+        """Every labeled commit sha (i.e. every non-initial commit)."""
+        return list(self.labels)
+
+    def security_shas(self) -> list[str]:
+        """Shas of all security patches (NVD-reported and silent)."""
+        return [sha for sha, lab in self.labels.items() if lab.is_security]
+
+    def nvd_shas(self) -> list[str]:
+        """Shas of security patches visible to the NVD (have a CVE)."""
+        return [sha for sha, lab in self.labels.items() if lab.cve_id is not None]
+
+    def wild_shas(self) -> list[str]:
+        """Shas of all commits *not* indexed by the NVD (the wild pool)."""
+        return [sha for sha, lab in self.labels.items() if lab.cve_id is None]
+
+    def label(self, sha: str) -> CommitLabel:
+        """Ground truth for one sha."""
+        return self.labels[sha]
+
+    def repo_of(self, sha: str) -> Repository:
+        """The repository containing *sha*."""
+        return self.repos[self.labels[sha].repo_slug]
+
+    def patch_for(self, sha: str) -> Patch:
+        """The commit exported as a Patch (C/C++-filtered), cached."""
+        cached = self._patch_cache.get(sha)
+        if cached is None:
+            cached = self.repo_of(sha).patch_for(sha).only_c_cpp()
+            self._patch_cache[sha] = cached
+        return cached
+
+    def patches_for(self, shas: list[str]) -> list[Patch]:
+        """Bulk :meth:`patch_for`."""
+        return [self.patch_for(sha) for sha in shas]
+
+
+def _draw_type(rng: np.random.Generator, dist: dict[int, float]) -> int:
+    types = sorted(dist)
+    probs = np.array([dist[t] for t in types])
+    probs = probs / probs.sum()
+    return int(types[int(rng.choice(len(types), p=probs))])
+
+
+def _message_anchor(rng: np.random.Generator, path: str, gen: CodeGenerator) -> str:
+    base = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return base if rng.random() < 0.5 else gen.noun()
+
+
+def build_world(config: WorldConfig | None = None) -> World:
+    """Build a world per *config* (defaults to :class:`WorldConfig`())."""
+    config = config or WorldConfig()
+    config.validate()
+    rng = seeded_rng(config.seed)
+    gen = CodeGenerator(rng)
+
+    # --- seed repositories ------------------------------------------------
+    repos: dict[str, Repository] = {}
+    owners = ("sunlab", "coreutils", "netstack", "imglib", "parsekit", "embedos", "dbkit", "mediax")
+    for r in range(config.n_repos):
+        owner = owners[r % len(owners)]
+        slug = f"{owner}/{gen.module_name()}-{r}"
+        repo = Repository(slug)
+        files: dict[str, str] = {
+            "README.md": f"# {slug}\n\nSynthetic project {r}.\n",
+            "ChangeLog": "initial release\n",
+            "Makefile": "all:\n\tcc -o app src/*.c\n",
+        }
+        for _ in range(config.files_per_repo):
+            gfile = gen.gen_file(n_functions=config.functions_per_file)
+            files[gfile.path] = gfile.render()
+        repo.commit(files, "initial import", date=_date(rng, 0))
+        repos[slug] = repo
+
+    slugs = list(repos)
+    labels: dict[str, CommitLabel] = {}
+
+    # --- drive histories ----------------------------------------------------
+    for step in range(config.n_commits):
+        slug = slugs[int(rng.integers(0, len(slugs)))]
+        repo = repos[slug]
+        tree = repo.checkout(repo.head)
+        c_paths = [p for p in tree if p.endswith((".c", ".h"))]
+        if not c_paths:
+            continue
+
+        is_security = rng.random() < config.security_fraction
+        if is_security:
+            label = _apply_security(config, rng, gen, repo, tree, c_paths, step)
+        else:
+            label = _apply_nonsec(config, rng, gen, repo, tree, c_paths, step)
+        if label is not None:
+            labels[label.sha] = label
+
+    return World(repos, labels)
+
+
+def _date(rng: np.random.Generator, step: int) -> str:
+    year = 2015 + (step // 400) % 5
+    month = int(rng.integers(1, 13))
+    day = int(rng.integers(1, 29))
+    return f"Thu {month:02d}/{day:02d} 12:00:00 {year} +0000"
+
+
+def _apply_security(
+    config: WorldConfig,
+    rng: np.random.Generator,
+    gen: CodeGenerator,
+    repo: Repository,
+    tree: dict[str, str],
+    c_paths: list[str],
+    step: int,
+) -> CommitLabel | None:
+    reported = rng.random() < config.nvd_report_fraction
+    dist = config.nvd_type_distribution if reported else config.wild_type_distribution
+    # Retry across types/files until a generator applies.
+    for _ in range(8):
+        ptype = _draw_type(rng, dist)
+        path = c_paths[int(rng.integers(0, len(c_paths)))]
+        new_text = apply_security_pattern(tree[path], ptype, rng)
+        if new_text is not None and new_text != tree[path]:
+            break
+    else:
+        return None
+    files = dict(tree)
+    files[path] = new_text
+    # CVE-worthy fixes tend to be more substantial commits: NVD-reported
+    # patches apply the pattern at 1-3 sites (sometimes across two files),
+    # while silent wild fixes stay small.  This reproduces the NVD-vs-wild
+    # distribution discrepancy the paper measures (RQ2: models trained on
+    # the NVD "would not be able to well profile patches in the wild").
+    if reported:
+        for _ in range(int(rng.integers(1, 3))):
+            extra_path = c_paths[int(rng.integers(0, len(c_paths)))]
+            extra = apply_security_pattern(files[extra_path], ptype, rng)
+            if extra is not None and extra != files[extra_path]:
+                files[extra_path] = extra
+
+    explicit = rng.random() < config.explicit_message_fraction
+    pool = _EXPLICIT_MESSAGES if explicit else _SILENT_MESSAGES
+    anchor = _message_anchor(rng, path, gen)
+    year = 2015 + (step // 400) % 5
+    message = pool[int(rng.integers(0, len(pool)))].format(
+        anchor=anchor, year=year, num=int(rng.integers(1000, 99999))
+    )
+    cve_id = f"CVE-{year}-{int(rng.integers(1000, 99999))}" if reported else None
+    # NVD-visible patches occasionally also touch the changelog — the
+    # crawler must strip these non-C/C++ parts (§III-A).
+    if reported and rng.random() < 0.3 and "ChangeLog" in files:
+        files["ChangeLog"] = files["ChangeLog"] + f"* {message}\n"
+    sha = repo.commit(files, message, date=_date(rng, step))
+    return CommitLabel(
+        sha=sha,
+        repo_slug=repo.slug,
+        is_security=True,
+        pattern_type=ptype,
+        cve_id=cve_id,
+        silent=not reported and not explicit,
+    )
+
+
+def _apply_nonsec(
+    config: WorldConfig,
+    rng: np.random.Generator,
+    gen: CodeGenerator,
+    repo: Repository,
+    tree: dict[str, str],
+    c_paths: list[str],
+    step: int,
+) -> CommitLabel | None:
+    kinds = list(NONSEC_GENERATORS)
+    weights = np.array([NONSEC_KIND_WEIGHTS[k] for k in kinds])
+    weights = weights / weights.sum()
+    for _ in range(8):
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        path = c_paths[int(rng.integers(0, len(c_paths)))]
+        new_text = apply_nonsec_pattern(tree[path], kind, rng)
+        if new_text is not None and new_text != tree[path]:
+            break
+    else:
+        return None
+    files = dict(tree)
+    files[path] = new_text
+    anchor = _message_anchor(rng, path, gen)
+    pool = _NONSEC_MESSAGES[kind]
+    message = pool[int(rng.integers(0, len(pool)))].format(anchor=anchor)
+    if rng.random() < 0.1 and "README.md" in files:
+        files["README.md"] = files["README.md"] + f"\n- {message}\n"
+    sha = repo.commit(files, message, date=_date(rng, step))
+    return CommitLabel(sha=sha, repo_slug=repo.slug, is_security=False, nonsec_kind=kind)

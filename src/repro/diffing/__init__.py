@@ -1,0 +1,14 @@
+"""Diff computation: Myers O(ND) edit scripts and unified hunk assembly."""
+
+from .myers import Edit, EditOp, diff_sequences, lcs_length
+from .unified_gen import DEFAULT_CONTEXT, diff_lines, diff_texts
+
+__all__ = [
+    "DEFAULT_CONTEXT",
+    "Edit",
+    "EditOp",
+    "diff_lines",
+    "diff_sequences",
+    "diff_texts",
+    "lcs_length",
+]

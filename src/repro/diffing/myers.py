@@ -1,0 +1,137 @@
+"""Myers O(ND) shortest-edit-script diff.
+
+Implements the greedy forward algorithm from Myers' *An O(ND) Difference
+Algorithm and Its Variations* (1986), operating on arbitrary hashable
+sequences (we use it on lists of lines).  The output is an edit script of
+``(op, old_index, new_index)`` records which the hunk assembler in
+:mod:`repro.diffing.unified_gen` turns into unified-diff hunks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["EditOp", "Edit", "diff_sequences", "lcs_length"]
+
+
+class EditOp(enum.Enum):
+    """Edit operation kinds in an edit script."""
+
+    EQUAL = "equal"
+    DELETE = "delete"
+    INSERT = "insert"
+
+
+@dataclass(frozen=True, slots=True)
+class Edit:
+    """One record of an edit script.
+
+    For EQUAL and DELETE, ``old_index`` is meaningful; for EQUAL and INSERT,
+    ``new_index`` is meaningful.  Unused indices are -1.
+    """
+
+    op: EditOp
+    old_index: int
+    new_index: int
+
+
+def diff_sequences(old: Sequence, new: Sequence) -> list[Edit]:
+    """Compute a minimal edit script turning *old* into *new*.
+
+    Returns:
+        Edits in order: EQUAL records carry both indices; DELETE records
+        reference *old*; INSERT records reference *new*.
+    """
+    # Trim a common prefix/suffix first; Myers is quadratic in the worst
+    # case and patches usually share almost everything.
+    n, m = len(old), len(new)
+    prefix = 0
+    while prefix < n and prefix < m and old[prefix] == new[prefix]:
+        prefix += 1
+    suffix = 0
+    while suffix < n - prefix and suffix < m - prefix and old[n - 1 - suffix] == new[m - 1 - suffix]:
+        suffix += 1
+
+    core = _myers(old[prefix : n - suffix], new[prefix : m - suffix])
+
+    script: list[Edit] = [Edit(EditOp.EQUAL, i, i) for i in range(prefix)]
+    for e in core:
+        script.append(
+            Edit(
+                e.op,
+                e.old_index + prefix if e.old_index >= 0 else -1,
+                e.new_index + prefix if e.new_index >= 0 else -1,
+            )
+        )
+    for k in range(suffix):
+        script.append(Edit(EditOp.EQUAL, n - suffix + k, m - suffix + k))
+    return script
+
+
+def _myers(old: Sequence, new: Sequence) -> list[Edit]:
+    """Greedy O(ND) forward search with trace-back."""
+    n, m = len(old), len(new)
+    if n == 0:
+        return [Edit(EditOp.INSERT, -1, j) for j in range(m)]
+    if m == 0:
+        return [Edit(EditOp.DELETE, i, -1) for i in range(n)]
+
+    max_d = n + m
+    # v[k] = furthest x on diagonal k; store per-d snapshots for trace-back.
+    v: dict[int, int] = {1: 0}
+    trace: list[dict[int, int]] = []
+    for d in range(max_d + 1):
+        trace.append(dict(v))
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v.get(k - 1, -1) < v.get(k + 1, -1)):
+                x = v.get(k + 1, 0)  # down: insertion
+            else:
+                x = v.get(k - 1, 0) + 1  # right: deletion
+            y = x - k
+            while x < n and y < m and old[x] == new[y]:
+                x += 1
+                y += 1
+            v[k] = x
+            if x >= n and y >= m:
+                return _backtrack(trace, old, new, d)
+    raise AssertionError("unreachable: Myers search must terminate by d = n+m")
+
+
+def _backtrack(trace: list[dict[int, int]], old: Sequence, new: Sequence, d_final: int) -> list[Edit]:
+    """Recover the edit script from the per-d snapshots."""
+    script_rev: list[Edit] = []
+    x, y = len(old), len(new)
+    for d in range(d_final, 0, -1):
+        v = trace[d]
+        k = x - y
+        if k == -d or (k != d and v.get(k - 1, -1) < v.get(k + 1, -1)):
+            prev_k = k + 1
+        else:
+            prev_k = k - 1
+        prev_x = v.get(prev_k, 0)
+        prev_y = prev_x - prev_k
+        # Snake back through the diagonal of equal elements.
+        while x > prev_x and y > prev_y:
+            x -= 1
+            y -= 1
+            script_rev.append(Edit(EditOp.EQUAL, x, y))
+        if d > 0:
+            if x == prev_x:  # came from an insertion
+                y -= 1
+                script_rev.append(Edit(EditOp.INSERT, -1, y))
+            else:  # came from a deletion
+                x -= 1
+                script_rev.append(Edit(EditOp.DELETE, x, -1))
+    while x > 0 and y > 0:
+        x -= 1
+        y -= 1
+        script_rev.append(Edit(EditOp.EQUAL, x, y))
+    script_rev.reverse()
+    return script_rev
+
+
+def lcs_length(old: Sequence, new: Sequence) -> int:
+    """Length of the longest common subsequence (EQUAL count of the script)."""
+    return sum(1 for e in diff_sequences(old, new) if e.op is EditOp.EQUAL)

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the PatchDB reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while still being
+able to discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PatchFormatError",
+    "PatchApplyError",
+    "LexError",
+    "ParseError",
+    "FeatureError",
+    "ModelError",
+    "NotFittedError",
+    "VcsError",
+    "ObjectNotFoundError",
+    "CorpusError",
+    "NvdError",
+    "AugmentationError",
+    "SynthesisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class PatchFormatError(ReproError):
+    """A patch or diff could not be parsed."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class PatchApplyError(ReproError):
+    """A patch could not be applied to (or reversed from) file contents."""
+
+
+class LexError(ReproError):
+    """The C/C++ lexer encountered unrecoverable input."""
+
+
+class ParseError(ReproError):
+    """The lightweight C parser could not build an AST."""
+
+
+class FeatureError(ReproError):
+    """Feature extraction failed or produced an inconsistent vector."""
+
+
+class ModelError(ReproError):
+    """An ML model was misused (bad shapes, bad hyperparameters)."""
+
+
+class NotFittedError(ModelError):
+    """``predict`` was called before ``fit``."""
+
+
+class VcsError(ReproError):
+    """A version-control operation failed."""
+
+
+class ObjectNotFoundError(VcsError):
+    """A blob/snapshot/commit hash is not present in the object store."""
+
+
+class CorpusError(ReproError):
+    """The synthetic corpus generator was configured inconsistently."""
+
+
+class NvdError(ReproError):
+    """The NVD simulator or crawler failed."""
+
+
+class AugmentationError(ReproError):
+    """The dataset augmentation loop was configured or driven incorrectly."""
+
+
+class SynthesisError(ReproError):
+    """Patch oversampling could not transform a patch."""

@@ -1,0 +1,26 @@
+"""The 60-dimensional syntactic feature space of Table I.
+
+Extraction (:func:`extract_features`), per-dimension max-abs weighting
+(:class:`MaxAbsWeighter`), the weighted Euclidean distance matrix used by
+nearest link search, and the Levenshtein primitives for features 49-54.
+"""
+
+from .extractor import FeatureExtractor, RepoContext, extract_feature_matrix, extract_features
+from .levenshtein import levenshtein, normalized_levenshtein
+from .normalize import MaxAbsWeighter, weighted_distance_matrix
+from .vector import FEATURE_COUNT, FEATURE_NAMES, as_matrix, feature_index
+
+__all__ = [
+    "FEATURE_COUNT",
+    "FEATURE_NAMES",
+    "FeatureExtractor",
+    "MaxAbsWeighter",
+    "RepoContext",
+    "as_matrix",
+    "extract_feature_matrix",
+    "extract_features",
+    "feature_index",
+    "levenshtein",
+    "normalized_levenshtein",
+    "weighted_distance_matrix",
+]

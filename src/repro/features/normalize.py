@@ -1,0 +1,88 @@
+"""Per-dimension max-abs weighting (§III-B-2).
+
+The paper normalizes feature *j* of patch *i* as::
+
+    a'_ij = a_ij * w_j,   w_j = 1 / max|a_j|
+
+so every dimension lands in [-1, 1] while preserving the sign of net-value
+features.  The maxima are computed over the *union* of the security and wild
+sets so distances between the two sides are comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FeatureError
+
+__all__ = ["MaxAbsWeighter", "weighted_distance_matrix"]
+
+
+class MaxAbsWeighter:
+    """Fit per-column ``1/max|a_j|`` weights; apply them to matrices."""
+
+    def __init__(self) -> None:
+        self._weights: np.ndarray | None = None
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The fitted weight vector.
+
+        Raises:
+            FeatureError: if the weighter has not been fitted.
+        """
+        if self._weights is None:
+            raise FeatureError("MaxAbsWeighter is not fitted")
+        return self._weights
+
+    def fit(self, *matrices: np.ndarray) -> "MaxAbsWeighter":
+        """Fit weights over the row-union of the given matrices."""
+        stack = [np.asarray(m, dtype=np.float64) for m in matrices if m is not None and len(m)]
+        if not stack:
+            raise FeatureError("cannot fit weighter on empty input")
+        combined = np.vstack(stack)
+        maxima = np.max(np.abs(combined), axis=0)
+        # Constant-zero columns carry no information; weight 0 removes them
+        # from the distance rather than dividing by zero.  Subnormal maxima
+        # are treated the same — 1/subnormal overflows to inf and poisons
+        # the distance matrix with NaNs.
+        floor = np.finfo(np.float64).tiny
+        usable = maxima > floor
+        with np.errstate(divide="ignore"):
+            weights = np.where(usable, 1.0 / np.where(usable, maxima, 1.0), 0.0)
+        self._weights = weights
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Apply fitted weights to an ``(N, d)`` matrix."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.weights.shape[0]:
+            raise FeatureError(
+                f"matrix shape {matrix.shape} incompatible with {self.weights.shape[0]} weights"
+            )
+        return matrix * self.weights
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Fit on *matrix* alone and transform it."""
+        return self.fit(matrix).transform(matrix)
+
+
+def weighted_distance_matrix(security: np.ndarray, wild: np.ndarray) -> np.ndarray:
+    """Build the paper's ``M×N`` weighted Euclidean distance matrix.
+
+    Args:
+        security: ``(M, d)`` feature matrix of verified security patches.
+        wild: ``(N, d)`` feature matrix of unlabeled wild patches.
+
+    Returns:
+        ``D`` with ``D[m, n] = ||w ⊙ (security_m - wild_n)||₂``.
+    """
+    weighter = MaxAbsWeighter().fit(security, wild)
+    s = weighter.transform(security)
+    w = weighter.transform(wild)
+    # ||a-b||² = ||a||² + ||b||² - 2 a·b, computed blockwise for memory.
+    s_sq = np.sum(s * s, axis=1)[:, None]
+    w_sq = np.sum(w * w, axis=1)[None, :]
+    d_sq = s_sq + w_sq - 2.0 * (s @ w.T)
+    np.maximum(d_sq, 0.0, out=d_sq)
+    return np.sqrt(d_sq)

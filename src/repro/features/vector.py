@@ -1,0 +1,94 @@
+"""Names and layout of the 60-dimensional feature space (Table I).
+
+The order below is the canonical column order of every feature matrix in
+this package.  Groups:
+
+* 1-10   basic text-level patch features,
+* 11-56  language-dependent features,
+* 57-60  affected-range features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FEATURE_NAMES", "FEATURE_COUNT", "feature_index", "as_matrix"]
+
+
+def _adds(prefix: str) -> tuple[str, ...]:
+    """The added/removed/total/net quadruple for one construct."""
+    return (
+        f"added_{prefix}",
+        f"removed_{prefix}",
+        f"total_{prefix}",
+        f"net_{prefix}",
+    )
+
+
+FEATURE_NAMES: tuple[str, ...] = (
+    # 1-2
+    "changed_lines",
+    "hunks",
+    # 3-6
+    *_adds("lines"),
+    # 7-10
+    *_adds("characters"),
+    # 11-14
+    *_adds("if_statements"),
+    # 15-18
+    *_adds("loops"),
+    # 19-22
+    *_adds("function_calls"),
+    # 23-26
+    *_adds("arithmetic_operators"),
+    # 27-30
+    *_adds("relational_operators"),
+    # 31-34
+    *_adds("logical_operators"),
+    # 35-38
+    *_adds("bitwise_operators"),
+    # 39-42
+    *_adds("memory_operators"),
+    # 43-46
+    *_adds("variables"),
+    # 47-48
+    "total_modified_functions",
+    "net_modified_functions",
+    # 49-51 (before token abstraction)
+    "lev_mean_raw",
+    "lev_min_raw",
+    "lev_max_raw",
+    # 52-54 (after token abstraction)
+    "lev_mean_abs",
+    "lev_min_abs",
+    "lev_max_abs",
+    # 55-56
+    "same_hunks_raw",
+    "same_hunks_abs",
+    # 57-60
+    "affected_files",
+    "affected_files_pct",
+    "affected_functions",
+    "affected_functions_pct",
+)
+
+FEATURE_COUNT: int = len(FEATURE_NAMES)
+assert FEATURE_COUNT == 60, f"Table I defines 60 features, got {FEATURE_COUNT}"
+
+_INDEX = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+
+def feature_index(name: str) -> int:
+    """Column index of a feature by name.
+
+    Raises:
+        KeyError: if *name* is not one of :data:`FEATURE_NAMES`.
+    """
+    return _INDEX[name]
+
+
+def as_matrix(rows: list[np.ndarray]) -> np.ndarray:
+    """Stack per-patch feature vectors into an ``(N, 60)`` float matrix."""
+    if not rows:
+        return np.zeros((0, FEATURE_COUNT), dtype=np.float64)
+    return np.vstack([np.asarray(r, dtype=np.float64) for r in rows])

@@ -1,0 +1,97 @@
+"""C/C++ language substrate: lexer, token abstraction, AST parser, counters.
+
+Replaces the paper's use of LLVM for AST generation (§III-C-1) with a
+self-contained lexer and lightweight parser adequate for locating and
+transforming ``if`` statements, and provides the token-level counters that
+power the 60-dimensional feature space of Table I.
+"""
+
+from .abstraction import abstract_line, abstract_token_texts, abstract_tokens
+from .ast_nodes import (
+    BlockStmt,
+    BreakStmt,
+    CaseLabel,
+    ContinueStmt,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    GotoStmt,
+    IfStmt,
+    LabelStmt,
+    Node,
+    NullStmt,
+    ReturnStmt,
+    Stmt,
+    SwitchStmt,
+    TranslationUnit,
+    WhileStmt,
+    walk,
+)
+from .lexer import code_tokens, split_tokens_by_line, tokenize
+from .metrics import FragmentCounts, count_fragment, count_lines
+from .parser import find_if_statements, parse_function_body, parse_translation_unit
+from .tokens import (
+    ALL_KEYWORDS,
+    ARITHMETIC_OPERATORS,
+    BITWISE_OPERATORS,
+    C_KEYWORDS,
+    CPP_KEYWORDS,
+    JUMP_KEYWORDS,
+    LOGICAL_OPERATORS,
+    LOOP_KEYWORDS,
+    MEMORY_FUNCTIONS,
+    RELATIONAL_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+__all__ = [
+    "ALL_KEYWORDS",
+    "ARITHMETIC_OPERATORS",
+    "BITWISE_OPERATORS",
+    "BlockStmt",
+    "BreakStmt",
+    "C_KEYWORDS",
+    "CPP_KEYWORDS",
+    "CaseLabel",
+    "ContinueStmt",
+    "DeclStmt",
+    "DoWhileStmt",
+    "Expr",
+    "ExprStmt",
+    "ForStmt",
+    "FragmentCounts",
+    "FunctionDef",
+    "GotoStmt",
+    "IfStmt",
+    "JUMP_KEYWORDS",
+    "LOGICAL_OPERATORS",
+    "LOOP_KEYWORDS",
+    "LabelStmt",
+    "MEMORY_FUNCTIONS",
+    "Node",
+    "NullStmt",
+    "RELATIONAL_OPERATORS",
+    "ReturnStmt",
+    "Stmt",
+    "SwitchStmt",
+    "Token",
+    "TokenKind",
+    "TranslationUnit",
+    "WhileStmt",
+    "abstract_line",
+    "abstract_token_texts",
+    "abstract_tokens",
+    "code_tokens",
+    "count_fragment",
+    "count_lines",
+    "find_if_statements",
+    "parse_function_body",
+    "parse_translation_unit",
+    "split_tokens_by_line",
+    "tokenize",
+    "walk",
+]

@@ -1,0 +1,58 @@
+"""Token abstraction.
+
+Table I distinguishes Levenshtein/same-hunk features computed *before* and
+*after* token abstraction (features 49-56).  Abstraction replaces concrete
+identifiers and literals with canonical placeholders so that two hunks that
+differ only in naming map to the same abstract string:
+
+* function-call names   -> ``FUNC``
+* other identifiers     -> ``VAR``
+* numeric literals      -> ``NUM``
+* string literals       -> ``STR``
+* character literals    -> ``CHR``
+
+Keywords, operators, and punctuation are preserved — they carry the
+control-flow and operator structure the features care about.
+"""
+
+from __future__ import annotations
+
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+__all__ = ["abstract_tokens", "abstract_line", "abstract_token_texts"]
+
+_PLACEHOLDERS = {
+    TokenKind.NUMBER: "NUM",
+    TokenKind.STRING: "STR",
+    TokenKind.CHAR: "CHR",
+}
+
+
+def abstract_tokens(tokens: list[Token]) -> list[str]:
+    """Map a token list to its abstract text sequence."""
+    out: list[str] = []
+    for idx, tok in enumerate(tokens):
+        if tok.kind is TokenKind.IDENTIFIER:
+            nxt = tokens[idx + 1] if idx + 1 < len(tokens) else None
+            is_call = nxt is not None and nxt.kind is TokenKind.PUNCT and nxt.text == "("
+            out.append("FUNC" if is_call else "VAR")
+        elif tok.kind in _PLACEHOLDERS:
+            out.append(_PLACEHOLDERS[tok.kind])
+        elif tok.kind is TokenKind.PREPROCESSOR:
+            out.append("#PP")
+        elif tok.kind in (TokenKind.COMMENT, TokenKind.NEWLINE):
+            continue
+        else:
+            out.append(tok.text)
+    return out
+
+
+def abstract_token_texts(source: str) -> list[str]:
+    """Tokenize *source* and return its abstract token sequence."""
+    return abstract_tokens(tokenize(source))
+
+
+def abstract_line(source: str) -> str:
+    """Abstract a single source line to a space-joined canonical string."""
+    return " ".join(abstract_token_texts(source))

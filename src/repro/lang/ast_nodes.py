@@ -1,0 +1,257 @@
+"""AST node model for the lightweight C parser.
+
+The node set is deliberately small: the oversampler (§III-C) only needs to
+*locate* ``if`` statements (``IfStmt <line:N, line:N>`` in LLVM's output)
+and understand enough surrounding structure to rewrite them, and the
+categorizer needs statement kinds.  Every node records a 1-based
+``start_line``/``end_line`` span, mirroring the LLVM AST fields the paper
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Node",
+    "Expr",
+    "Stmt",
+    "BlockStmt",
+    "IfStmt",
+    "WhileStmt",
+    "DoWhileStmt",
+    "ForStmt",
+    "SwitchStmt",
+    "CaseLabel",
+    "ReturnStmt",
+    "GotoStmt",
+    "BreakStmt",
+    "ContinueStmt",
+    "ExprStmt",
+    "DeclStmt",
+    "NullStmt",
+    "LabelStmt",
+    "FunctionDef",
+    "TranslationUnit",
+    "walk",
+]
+
+
+@dataclass(slots=True)
+class Node:
+    """Base AST node with a 1-based inclusive line span."""
+
+    start_line: int
+    end_line: int
+
+    def children(self) -> tuple["Node", ...]:
+        """Direct child nodes (overridden by composites)."""
+        return ()
+
+    def span_contains(self, line: int) -> bool:
+        """True if *line* lies within this node's span."""
+        return self.start_line <= line <= self.end_line
+
+
+@dataclass(slots=True)
+class Expr(Node):
+    """An expression, stored as its exact source text.
+
+    Attributes:
+        text: the expression's source text (whitespace-normalized newlines
+            preserved so multi-line conditions can be re-emitted).
+        start_col / end_col: 1-based columns of the first character and of
+            the character *after* the last one, for in-place rewriting.
+    """
+
+    text: str = ""
+    start_col: int = 1
+    end_col: int = 1
+
+
+@dataclass(slots=True)
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass(slots=True)
+class BlockStmt(Stmt):
+    """``{ ... }``"""
+
+    stmts: list[Stmt] = field(default_factory=list)
+
+    def children(self) -> tuple[Node, ...]:
+        return tuple(self.stmts)
+
+
+@dataclass(slots=True)
+class IfStmt(Stmt):
+    """``if (cond) then [else orelse]``.
+
+    ``cond_open_line``/``cond_open_col`` locate the opening parenthesis and
+    ``cond_close_line``/``cond_close_col`` the closing one, so rewriters can
+    splice modified conditions back into the original text.
+    """
+
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    orelse: Stmt | None = None
+    cond_open_line: int = 0
+    cond_open_col: int = 0
+    cond_close_line: int = 0
+    cond_close_col: int = 0
+    then_braced: bool = False
+
+    def children(self) -> tuple[Node, ...]:
+        kids: list[Node] = [self.cond, self.then]
+        if self.orelse is not None:
+            kids.append(self.orelse)
+        return tuple(kids)
+
+
+@dataclass(slots=True)
+class WhileStmt(Stmt):
+    """``while (cond) body``"""
+
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.cond, self.body)
+
+
+@dataclass(slots=True)
+class DoWhileStmt(Stmt):
+    """``do body while (cond);``"""
+
+    body: Stmt = None  # type: ignore[assignment]
+    cond: Expr = None  # type: ignore[assignment]
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.body, self.cond)
+
+
+@dataclass(slots=True)
+class ForStmt(Stmt):
+    """``for (clauses) body`` — clauses kept as raw text."""
+
+    clauses: str = ""
+    body: Stmt = None  # type: ignore[assignment]
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.body,)
+
+
+@dataclass(slots=True)
+class SwitchStmt(Stmt):
+    """``switch (cond) body``"""
+
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.cond, self.body)
+
+
+@dataclass(slots=True)
+class CaseLabel(Stmt):
+    """``case expr:`` or ``default:`` (treated as a statement)."""
+
+    label_text: str = ""
+
+
+@dataclass(slots=True)
+class ReturnStmt(Stmt):
+    """``return [expr];``"""
+
+    value_text: str = ""
+
+
+@dataclass(slots=True)
+class GotoStmt(Stmt):
+    """``goto label;``"""
+
+    label: str = ""
+
+
+@dataclass(slots=True)
+class BreakStmt(Stmt):
+    """``break;``"""
+
+
+@dataclass(slots=True)
+class ContinueStmt(Stmt):
+    """``continue;``"""
+
+
+@dataclass(slots=True)
+class ExprStmt(Stmt):
+    """An expression statement, stored as raw text."""
+
+    text: str = ""
+
+
+@dataclass(slots=True)
+class DeclStmt(Stmt):
+    """A (local) declaration statement, stored as raw text."""
+
+    text: str = ""
+
+
+@dataclass(slots=True)
+class NullStmt(Stmt):
+    """A bare ``;``."""
+
+
+@dataclass(slots=True)
+class LabelStmt(Stmt):
+    """``name: stmt``"""
+
+    name: str = ""
+    stmt: Stmt | None = None
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.stmt,) if self.stmt is not None else ()
+
+
+@dataclass(slots=True)
+class FunctionDef(Node):
+    """A function definition with its body block."""
+
+    name: str = ""
+    params_text: str = ""
+    return_type_text: str = ""
+    body: BlockStmt = None  # type: ignore[assignment]
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.body,)
+
+
+@dataclass(slots=True)
+class TranslationUnit(Node):
+    """A parsed file: function definitions plus opaque top-level regions."""
+
+    functions: list[FunctionDef] = field(default_factory=list)
+    path: str = ""
+
+    def children(self) -> tuple[Node, ...]:
+        return tuple(self.functions)
+
+    def function_at(self, line: int) -> FunctionDef | None:
+        """The function whose span contains *line*, if any."""
+        for fn in self.functions:
+            if fn.span_contains(line):
+                return fn
+        return None
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield *node* and all descendants in pre-order."""
+    stack: list[Node] = [node]
+    while stack:
+        current = stack.pop()
+        if current is None:
+            continue
+        yield current
+        stack.extend(reversed(current.children()))

@@ -1,0 +1,175 @@
+"""A C/C++ lexer.
+
+Tokenizes full files *and* bare patch fragments (a hunk body is not a
+complete translation unit, but it still lexes line by line).  The lexer is
+error-tolerant: an unterminated string or block comment at end of input is
+closed implicitly rather than raising, because patch fragments routinely cut
+constructs in half.  Truly unlexable bytes raise :class:`LexError` only in
+``strict`` mode; otherwise they become one-character PUNCT tokens.
+
+The scanner is a single compiled master regex advanced with ``match(pos)``;
+this is the hot path of the whole package (feature extraction, parsing, and
+corpus generation all lex), so the loop avoids per-character Python work.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import LexError
+from .tokens import ALL_KEYWORDS, OPERATORS, Token, TokenKind
+
+__all__ = ["tokenize", "code_tokens", "split_tokens_by_line"]
+
+_OP_ALTERNATION = "|".join(re.escape(op) for op in OPERATORS)
+
+_MASTER = re.compile(
+    r"""
+    (?P<WS>[ \t\r\f\v]+)
+  | (?P<LINECONT>\\\n)
+  | (?P<NEWLINE>\n)
+  | (?P<COMMENT>//[^\n]*|/\*(?s:.*?)(?:\*/|$))
+  | (?P<STRING>(?:u8|[LuU])?"(?:\\.|[^"\\\n])*(?:"|(?=\n)|$))
+  | (?P<CHAR>(?:[LuU])?'(?:\\.|[^'\\\n])*(?:'|(?=\n)|$))
+  | (?P<NUMBER>0[xX][0-9a-fA-F]+[uUlL]*|(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?[uUlLfF]*)
+  | (?P<IDENT>[A-Za-z_$][A-Za-z0-9_$]*)
+  | (?P<PUNCT>[()\[\]{};])
+  | (?P<OP>%s)
+  | (?P<HASH>\#)
+  | (?P<OTHER>.)
+    """
+    % _OP_ALTERNATION,
+    re.VERBOSE,
+)
+
+_QUOTE_FIX = {"STRING": '"', "CHAR": "'"}
+
+
+def tokenize(
+    source: str,
+    keep_comments: bool = False,
+    keep_newlines: bool = False,
+    strict: bool = False,
+) -> list[Token]:
+    """Tokenize C/C++ *source*.
+
+    Args:
+        source: source text (a full file or a fragment).
+        keep_comments: include COMMENT tokens in the output.
+        keep_newlines: include NEWLINE tokens (one per physical newline
+            outside comments/strings).
+        strict: raise :class:`LexError` on unexpected characters instead of
+            passing them through as punctuation.
+
+    Returns:
+        Tokens in source order (no EOF sentinel).
+    """
+    tokens: list[Token] = []
+    append = tokens.append
+    match = _MASTER.match
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    at_line_start = True  # only whitespace seen since the last newline
+
+    while i < n:
+        m = match(source, i)
+        kind = m.lastgroup
+        text = m.group()
+        tline, tcol = line, col
+
+        if kind == "WS":
+            i = m.end()
+            col += len(text)
+            continue
+        if kind == "NEWLINE":
+            if keep_newlines:
+                append(Token(TokenKind.NEWLINE, "\n", tline, tcol))
+            i = m.end()
+            line += 1
+            col = 1
+            at_line_start = True
+            continue
+        if kind == "LINECONT":
+            i = m.end()
+            line += 1
+            col = 1
+            continue
+        if kind == "COMMENT":
+            if keep_comments:
+                append(Token(TokenKind.COMMENT, text, tline, tcol))
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                col = len(text) - text.rfind("\n")
+            else:
+                col += len(text)
+            i = m.end()
+            continue
+        if kind == "HASH" and at_line_start:
+            j = _end_of_directive(source, i)
+            text = source[i:j]
+            append(Token(TokenKind.PREPROCESSOR, text, tline, tcol))
+            newlines = text.count("\n")
+            line += newlines
+            col = 1 if newlines else col + len(text)
+            i = j
+            at_line_start = False
+            continue
+
+        at_line_start = False
+        if kind == "STRING" or kind == "CHAR":
+            quote = _QUOTE_FIX[kind]
+            if not text.endswith(quote) or len(text.lstrip("Lu8U")) < 2:
+                text_fixed = text + quote  # close unterminated literal
+            else:
+                text_fixed = text
+            tok_kind = TokenKind.STRING if kind == "STRING" else TokenKind.CHAR
+            append(Token(tok_kind, text_fixed, tline, tcol))
+        elif kind == "NUMBER":
+            append(Token(TokenKind.NUMBER, text, tline, tcol))
+        elif kind == "IDENT":
+            tok_kind = TokenKind.KEYWORD if text in ALL_KEYWORDS else TokenKind.IDENTIFIER
+            append(Token(tok_kind, text, tline, tcol))
+        elif kind == "PUNCT":
+            append(Token(TokenKind.PUNCT, text, tline, tcol))
+        elif kind == "OP":
+            append(Token(TokenKind.OPERATOR, text, tline, tcol))
+        else:  # HASH not at line start, or OTHER
+            if strict and kind == "OTHER":
+                raise LexError(f"unexpected character {text!r} at line {line}, col {col}")
+            append(Token(TokenKind.PUNCT, text, tline, tcol))
+        i = m.end()
+        col += len(text)
+
+    return tokens
+
+
+def _end_of_directive(source: str, i: int) -> int:
+    """Index just past a preprocessor directive, honoring '\\' continuations."""
+    n = len(source)
+    while True:
+        j = source.find("\n", i)
+        if j < 0:
+            return n
+        k = j - 1
+        while k >= 0 and source[k] in " \t\r":
+            k -= 1
+        if k >= 0 and source[k] == "\\":
+            i = j + 1
+            continue
+        return j
+
+
+def code_tokens(source: str) -> list[Token]:
+    """Tokenize and keep only code tokens (no comments or newlines)."""
+    return [t for t in tokenize(source) if t.kind not in (TokenKind.COMMENT, TokenKind.NEWLINE)]
+
+
+def split_tokens_by_line(tokens: list[Token]) -> dict[int, list[Token]]:
+    """Group tokens by their source line number."""
+    by_line: dict[int, list[Token]] = {}
+    for tok in tokens:
+        by_line.setdefault(tok.line, []).append(tok)
+    return by_line

@@ -1,0 +1,90 @@
+"""From-scratch NumPy machine-learning substrate.
+
+Stands in for the paper's Weka toolchain (Table III's ten consensus
+classifiers), the Random Forest used for pseudo-labeling and dataset-quality
+experiments, SMOTE, and the RNN token model — every estimator shares the
+``fit``/``predict``/``predict_proba`` protocol of :class:`Classifier`.
+"""
+
+from .base import Classifier
+from .bayesnet import TreeAugmentedNaiveBayes
+from .forest import RandomForestClassifier
+from .knn import KNeighborsClassifier
+from .logistic import LogisticRegression
+from .metrics import (
+    ClassificationReport,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision,
+    proportion_confidence_interval,
+    recall,
+)
+from .naive_bayes import DiscretizedNaiveBayes, GaussianNaiveBayes
+from .perceptron import VotedPerceptron
+from .preprocess import StandardScaler
+from .reptree import REPTreeClassifier
+from .rnn import RNNClassifier
+from .sgd import SGDClassifier
+from .smo import SMOClassifier
+from .smote import smote_oversample
+from .split import bootstrap_indices, stratified_kfold, train_test_split
+from .svm import LinearSVM
+from .tokenizer import Vocabulary, encode_batch, patch_token_sequence
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "Classifier",
+    "ClassificationReport",
+    "DecisionTreeClassifier",
+    "DiscretizedNaiveBayes",
+    "GaussianNaiveBayes",
+    "KNeighborsClassifier",
+    "LinearSVM",
+    "LogisticRegression",
+    "REPTreeClassifier",
+    "RNNClassifier",
+    "RandomForestClassifier",
+    "SGDClassifier",
+    "SMOClassifier",
+    "StandardScaler",
+    "TreeAugmentedNaiveBayes",
+    "Vocabulary",
+    "VotedPerceptron",
+    "accuracy",
+    "bootstrap_indices",
+    "classification_report",
+    "confusion_matrix",
+    "encode_batch",
+    "f1_score",
+    "patch_token_sequence",
+    "precision",
+    "proportion_confidence_interval",
+    "recall",
+    "smote_oversample",
+    "stratified_kfold",
+    "train_test_split",
+    "weka_ensemble",
+]
+
+
+def weka_ensemble(seed: int = 0) -> list[Classifier]:
+    """The ten heterogeneous classifiers of the uncertainty baseline.
+
+    Mirrors the paper's Weka set: Random Forest, SVM, Logistic Regression,
+    SGD, SMO, Naive Bayes, Bayesian Network, J48-style decision tree,
+    REPTree, and Voted Perceptron.
+    """
+    return [
+        RandomForestClassifier(n_estimators=30, max_depth=12, seed=seed),
+        LinearSVM(seed=seed + 1),
+        LogisticRegression(),
+        SGDClassifier(loss="log", seed=seed + 2),
+        SMOClassifier(seed=seed + 3, max_iter=10),
+        GaussianNaiveBayes(),
+        TreeAugmentedNaiveBayes(),
+        DecisionTreeClassifier(max_depth=12, min_samples_leaf=3, criterion="entropy", seed=seed + 4),
+        REPTreeClassifier(seed=seed + 5),
+        VotedPerceptron(seed=seed + 6),
+    ]

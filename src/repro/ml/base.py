@@ -1,0 +1,84 @@
+"""Base estimator API for the from-scratch ML substrate.
+
+All classifiers implement ``fit(X, y) -> self``, ``predict(X) -> (N,)`` and
+``predict_proba(X) -> (N, 2)`` for binary problems (class order: [0, 1]).
+Labels are integer {0, 1}; 1 = security patch throughout the package.
+
+Everything is NumPy-only — the paper uses Weka and scikit-learn-era tooling,
+which is unavailable offline, so these implementations stand in for it (see
+DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+
+__all__ = ["Classifier", "check_Xy", "check_X", "seeded_rng"]
+
+
+def seeded_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed or generator into a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_Xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a training pair.
+
+    Raises:
+        ModelError: on shape mismatch, empty data, or non-binary labels.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ModelError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1 or y.shape[0] != X.shape[0]:
+        raise ModelError(f"y shape {y.shape} does not match X rows {X.shape[0]}")
+    if X.shape[0] == 0:
+        raise ModelError("cannot fit on empty data")
+    y = y.astype(np.int64)
+    labels = np.unique(y)
+    if not np.all(np.isin(labels, (0, 1))):
+        raise ModelError(f"labels must be binary 0/1, got {labels}")
+    return X, y
+
+
+def check_X(X: np.ndarray, n_features: int | None = None) -> np.ndarray:
+    """Validate and coerce an inference matrix."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ModelError(f"X must be 2-D, got shape {X.shape}")
+    if n_features is not None and X.shape[1] != n_features:
+        raise ModelError(f"X has {X.shape[1]} features, model was fit with {n_features}")
+    return X
+
+
+class Classifier(abc.ABC):
+    """Abstract binary classifier."""
+
+    _n_features: int | None = None
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Fit the model; returns ``self``."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities, shape ``(N, 2)``, columns [P(0), P(1)]."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Hard labels via the 0.5 probability threshold."""
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)
+
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        """Monotone confidence for class 1 (defaults to P(1))."""
+        return self.predict_proba(X)[:, 1]
+
+    def _require_fitted(self) -> None:
+        if self._n_features is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")

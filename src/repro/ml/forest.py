@@ -1,0 +1,92 @@
+"""Random forest classifier (bagged CART trees with feature subsetting).
+
+The paper's best-performing shallow model for pseudo-labeling (Table III)
+and one of the two dataset-quality models (Table VI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import Classifier, check_X, check_Xy, seeded_rng
+from .split import bootstrap_indices
+from .tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier(Classifier):
+    """Bootstrap-aggregated decision trees.
+
+    Args:
+        n_estimators: number of trees.
+        max_depth: per-tree depth cap.
+        min_samples_leaf: per-tree leaf size floor.
+        max_features: features per split (default ``"sqrt"``).
+        criterion: impurity criterion for the trees.
+        seed: RNG seed; each tree gets an independent child generator.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        criterion: str = "gini",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ModelError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.criterion = criterion
+        self._rng = seeded_rng(seed)
+        self.trees: list[DecisionTreeClassifier] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X, y = check_Xy(X, y)
+        self._n_features = X.shape[1]
+        self.trees = []
+        n = X.shape[0]
+        for _ in range(self.n_estimators):
+            idx = bootstrap_indices(n, rng=self._rng)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                criterion=self.criterion,
+                seed=self._rng,
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self._n_features)
+        votes = np.zeros(X.shape[0], dtype=np.float64)
+        for tree in self.trees:
+            votes += tree.predict_proba(X)[:, 1]
+        p1 = votes / len(self.trees)
+        return np.column_stack([1.0 - p1, p1])
+
+    def feature_importances(self) -> np.ndarray:
+        """Split-frequency importances (fraction of internal nodes per feature)."""
+        self._require_fitted()
+        counts = np.zeros(self._n_features, dtype=np.float64)
+        total = 0
+        for tree in self.trees:
+            stack = [tree.root]
+            while stack:
+                node = stack.pop()
+                if node is None or node.is_leaf:
+                    continue
+                counts[node.feature] += 1
+                total += 1
+                stack.append(node.left)
+                stack.append(node.right)
+        return counts / total if total else counts

@@ -1,0 +1,64 @@
+"""k-nearest-neighbors classifier.
+
+Included both as a consensus classifier and because §III-B explicitly
+contrasts nearest link search with KNN: KNN may assign one neighbor to many
+queries, while a nearest link candidate is consumed at most once.  Tests use
+this class to demonstrate that distinction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import Classifier, check_X, check_Xy
+from .preprocess import StandardScaler
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(Classifier):
+    """Majority vote over the *k* nearest training points (Euclidean).
+
+    Args:
+        k: neighborhood size.
+        standardize: scale features before distance computation.
+    """
+
+    def __init__(self, k: int = 5, standardize: bool = True) -> None:
+        if k < 1:
+            raise ModelError("k must be >= 1")
+        self.k = k
+        self.standardize = standardize
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._scaler: StandardScaler | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y = check_Xy(X, y)
+        self._n_features = X.shape[1]
+        if self.standardize:
+            self._scaler = StandardScaler()
+            X = self._scaler.fit_transform(X)
+        self._X = X
+        self._y = y
+        return self
+
+    def kneighbors(self, X: np.ndarray) -> np.ndarray:
+        """Indices of the k nearest training rows per query, shape (n, k)."""
+        self._require_fitted()
+        X = check_X(X, self._n_features)
+        if self._scaler is not None:
+            X = self._scaler.transform(X)
+        k = min(self.k, self._X.shape[0])
+        d_sq = (
+            np.sum(X * X, axis=1)[:, None]
+            + np.sum(self._X * self._X, axis=1)[None, :]
+            - 2.0 * (X @ self._X.T)
+        )
+        return np.argsort(d_sq, axis=1, kind="stable")[:, :k]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        neighbors = self.kneighbors(X)
+        p1 = self._y[neighbors].mean(axis=1)
+        return np.column_stack([1.0 - p1, p1])

@@ -1,0 +1,83 @@
+"""L2-regularized logistic regression trained by full-batch gradient descent.
+
+One of the ten heterogeneous classifiers in the uncertainty-based labeling
+baseline (Table III).  Inputs are standardized internally so the paper's raw
+count features do not need manual scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import Classifier, check_X, check_Xy
+from .preprocess import StandardScaler
+
+__all__ = ["LogisticRegression", "sigmoid"]
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class LogisticRegression(Classifier):
+    """Binary logistic regression.
+
+    Args:
+        learning_rate: gradient-descent step size.
+        n_iter: number of full-batch iterations.
+        l2: ridge penalty strength (on weights, not the intercept).
+        standardize: standardize inputs internally.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        n_iter: int = 300,
+        l2: float = 1e-3,
+        standardize: bool = True,
+    ) -> None:
+        if learning_rate <= 0 or n_iter < 1 or l2 < 0:
+            raise ModelError("invalid hyperparameters")
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.l2 = l2
+        self.standardize = standardize
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+        self._scaler: StandardScaler | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X, y = check_Xy(X, y)
+        self._n_features = X.shape[1]
+        if self.standardize:
+            self._scaler = StandardScaler()
+            X = self._scaler.fit_transform(X)
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        yf = y.astype(np.float64)
+        for _ in range(self.n_iter):
+            p = sigmoid(X @ w + b)
+            err = p - yf
+            grad_w = X.T @ err / n + self.l2 * w
+            grad_b = float(np.mean(err))
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+        self.weights = w
+        self.bias = b
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self._n_features)
+        if self._scaler is not None:
+            X = self._scaler.transform(X)
+        p1 = sigmoid(X @ self.weights + self.bias)
+        return np.column_stack([1.0 - p1, p1])

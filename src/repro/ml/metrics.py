@@ -1,0 +1,145 @@
+"""Evaluation metrics and interval estimates.
+
+Provides the precision/recall numbers reported in Tables IV and VI and the
+95% confidence intervals on sampled proportions reported in Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "ClassificationReport",
+    "classification_report",
+    "proportion_confidence_interval",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).astype(np.int64)
+    y_pred = np.asarray(y_pred).astype(np.int64)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ModelError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 confusion matrix ``[[tn, fp], [fn, tp]]``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    return np.array([[tn, fp], [fn, tp]], dtype=np.int64)
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FP); 0.0 when nothing is predicted positive."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fp = cm[1, 1], cm[0, 1]
+    return float(tp / (tp + fp)) if tp + fp else 0.0
+
+
+def recall(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FN); 0.0 when there are no positives."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fn = cm[1, 1], cm[1, 0]
+    return float(tp / (tp + fn)) if tp + fn else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    return 2 * p * r / (p + r) if p + r else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationReport:
+    """Bundled binary-classification metrics."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    support_positive: int
+    support_negative: int
+
+    def row(self) -> str:
+        """One-line summary suitable for experiment tables."""
+        return (
+            f"acc={self.accuracy:.3f} precision={self.precision:.3f} "
+            f"recall={self.recall:.3f} f1={self.f1:.3f} "
+            f"(+{self.support_positive}/-{self.support_negative})"
+        )
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> ClassificationReport:
+    """Compute all binary metrics at once."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return ClassificationReport(
+        accuracy=accuracy(y_true, y_pred),
+        precision=precision(y_true, y_pred),
+        recall=recall(y_true, y_pred),
+        f1=f1_score(y_true, y_pred),
+        support_positive=int(np.sum(y_true == 1)),
+        support_negative=int(np.sum(y_true == 0)),
+    )
+
+
+def proportion_confidence_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation CI for a sampled proportion (Table III's ±).
+
+    Args:
+        successes: number of positive outcomes in the sample.
+        trials: sample size.
+        confidence: two-sided confidence level (0.95 → z ≈ 1.96).
+
+    Returns:
+        ``(p_hat, half_width)``, both in [0, 1].
+    """
+    if trials <= 0:
+        raise ModelError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ModelError("successes must lie in [0, trials]")
+    p_hat = successes / trials
+    z = _z_value(confidence)
+    half = z * float(np.sqrt(p_hat * (1.0 - p_hat) / trials))
+    return p_hat, half
+
+
+def _z_value(confidence: float) -> float:
+    """Two-sided z critical value via inverse error function."""
+    if not 0.0 < confidence < 1.0:
+        raise ModelError("confidence must be in (0, 1)")
+    from math import erf, sqrt
+
+    # Invert Phi numerically (bisection is plenty for one call).
+    target = (1.0 + confidence) / 2.0
+    lo, hi = 0.0, 10.0
+    for _ in range(100):
+        mid = (lo + hi) / 2.0
+        if 0.5 * (1.0 + erf(mid / sqrt(2.0))) < target:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

@@ -1,0 +1,121 @@
+"""Naive Bayes classifiers (Gaussian and discretized/multinomial-style).
+
+Two of the ten consensus classifiers in Table III.  The Gaussian variant
+models each feature with a per-class normal; the discretized variant bins
+each feature into equal-frequency buckets with Laplace smoothing — which is
+also how we stand in for Weka's default BayesNet (a naive-Bayes-structured
+network over discretized attributes), see :mod:`repro.ml.bayesnet`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import Classifier, check_X, check_Xy
+
+__all__ = ["GaussianNaiveBayes", "DiscretizedNaiveBayes"]
+
+_VAR_FLOOR = 1e-9
+
+
+class GaussianNaiveBayes(Classifier):
+    """Per-class, per-feature Gaussian likelihoods with a variance floor."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing < 0:
+            raise ModelError("var_smoothing must be >= 0")
+        self.var_smoothing = var_smoothing
+        self._theta: np.ndarray | None = None  # (2, d) means
+        self._var: np.ndarray | None = None  # (2, d) variances
+        self._log_prior: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        X, y = check_Xy(X, y)
+        self._n_features = X.shape[1]
+        theta = np.zeros((2, X.shape[1]))
+        var = np.zeros((2, X.shape[1]))
+        prior = np.zeros(2)
+        global_var = X.var(axis=0).max() if X.shape[0] > 1 else 1.0
+        eps = self.var_smoothing * max(global_var, 1.0) + _VAR_FLOOR
+        for c in (0, 1):
+            rows = X[y == c]
+            prior[c] = max(len(rows), 1) / X.shape[0]
+            if len(rows):
+                theta[c] = rows.mean(axis=0)
+                var[c] = rows.var(axis=0) + eps
+            else:
+                var[c] = eps
+        self._theta, self._var = theta, var
+        self._log_prior = np.log(prior)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self._n_features)
+        log_like = np.zeros((X.shape[0], 2))
+        for c in (0, 1):
+            diff = X - self._theta[c]
+            log_like[:, c] = (
+                -0.5 * np.sum(np.log(2.0 * np.pi * self._var[c]))
+                - 0.5 * np.sum(diff * diff / self._var[c], axis=1)
+                + self._log_prior[c]
+            )
+        # Normalize in log space.
+        log_like -= log_like.max(axis=1, keepdims=True)
+        probs = np.exp(log_like)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+
+class DiscretizedNaiveBayes(Classifier):
+    """Naive Bayes over equal-frequency discretized features.
+
+    Args:
+        n_bins: buckets per feature (quantile edges fitted on training data).
+        alpha: Laplace smoothing count.
+    """
+
+    def __init__(self, n_bins: int = 8, alpha: float = 1.0) -> None:
+        if n_bins < 2 or alpha <= 0:
+            raise ModelError("n_bins >= 2 and alpha > 0 required")
+        self.n_bins = n_bins
+        self.alpha = alpha
+        self._edges: list[np.ndarray] | None = None
+        self._log_cond: np.ndarray | None = None  # (2, d, bins)
+        self._log_prior: np.ndarray | None = None
+
+    def _bin(self, X: np.ndarray) -> np.ndarray:
+        binned = np.empty(X.shape, dtype=np.int64)
+        for j, edges in enumerate(self._edges):
+            binned[:, j] = np.searchsorted(edges, X[:, j], side="right")
+        return np.clip(binned, 0, self.n_bins - 1)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DiscretizedNaiveBayes":
+        X, y = check_Xy(X, y)
+        self._n_features = X.shape[1]
+        quantiles = np.linspace(0, 1, self.n_bins + 1)[1:-1]
+        self._edges = [np.unique(np.quantile(X[:, j], quantiles)) for j in range(X.shape[1])]
+        binned = self._bin(X)
+        d = X.shape[1]
+        counts = np.full((2, d, self.n_bins), self.alpha)
+        prior = np.zeros(2)
+        for c in (0, 1):
+            rows = binned[y == c]
+            prior[c] = max(len(rows), 1) / X.shape[0]
+            for j in range(d):
+                np.add.at(counts[c, j], rows[:, j], 1.0)
+        self._log_cond = np.log(counts / counts.sum(axis=2, keepdims=True))
+        self._log_prior = np.log(prior)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self._n_features)
+        binned = self._bin(X)
+        log_like = np.zeros((X.shape[0], 2))
+        cols = np.arange(X.shape[1])
+        for c in (0, 1):
+            log_like[:, c] = self._log_cond[c, cols, binned].sum(axis=1) + self._log_prior[c]
+        log_like -= log_like.max(axis=1, keepdims=True)
+        probs = np.exp(log_like)
+        return probs / probs.sum(axis=1, keepdims=True)

@@ -1,0 +1,91 @@
+"""Voted perceptron (Freund & Schapire, 1999).
+
+Keeps every intermediate weight vector together with its survival count and
+predicts with the survival-weighted vote — one of the ten consensus
+classifiers in Table III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import Classifier, check_X, check_Xy, seeded_rng
+from .logistic import sigmoid
+from .preprocess import StandardScaler
+
+__all__ = ["VotedPerceptron"]
+
+
+class VotedPerceptron(Classifier):
+    """Voted perceptron.
+
+    Args:
+        epochs: passes over the shuffled training set.
+        max_vectors: cap on stored prototype vectors (oldest are merged into
+            the running vote to bound memory).
+        seed: shuffling RNG.
+    """
+
+    def __init__(
+        self,
+        epochs: int = 10,
+        max_vectors: int = 500,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if epochs < 1 or max_vectors < 1:
+            raise ModelError("invalid hyperparameters")
+        self.epochs = epochs
+        self.max_vectors = max_vectors
+        self._rng = seeded_rng(seed)
+        self._scaler: StandardScaler | None = None
+        self._vectors: np.ndarray | None = None  # (k, d+1) with bias column
+        self._counts: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "VotedPerceptron":
+        X, y = check_Xy(X, y)
+        self._n_features = X.shape[1]
+        self._scaler = StandardScaler()
+        X = self._scaler.fit_transform(X)
+        n, d = X.shape
+        y_signed = 2.0 * y.astype(np.float64) - 1.0
+        w = np.zeros(d + 1)
+        count = 0
+        vectors: list[np.ndarray] = []
+        counts: list[int] = []
+        Xb = np.column_stack([X, np.ones(n)])
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n)
+            for i in order:
+                if y_signed[i] * (w @ Xb[i]) <= 0.0:
+                    if count > 0:
+                        vectors.append(w.copy())
+                        counts.append(count)
+                        if len(vectors) > self.max_vectors:
+                            # Merge the two oldest to bound memory.
+                            merged = vectors[0] * counts[0] + vectors[1] * counts[1]
+                            total = counts[0] + counts[1]
+                            vectors[:2] = [merged / total]
+                            counts[:2] = [total]
+                    w = w + y_signed[i] * Xb[i]
+                    count = 1
+                else:
+                    count += 1
+        vectors.append(w.copy())
+        counts.append(max(count, 1))
+        self._vectors = np.vstack(vectors)
+        self._counts = np.asarray(counts, dtype=np.float64)
+        return self
+
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        """Survival-weighted signed vote in [-1, 1]."""
+        self._require_fitted()
+        X = check_X(X, self._n_features)
+        X = self._scaler.transform(X)
+        Xb = np.column_stack([X, np.ones(X.shape[0])])
+        signs = np.sign(Xb @ self._vectors.T)  # (n, k)
+        return (signs @ self._counts) / self._counts.sum()
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        p1 = sigmoid(3.0 * self.decision_scores(X))  # squash the vote
+        return np.column_stack([1.0 - p1, p1])

@@ -1,0 +1,42 @@
+"""Feature preprocessing for the linear models.
+
+Linear classifiers (logistic regression, SVM, perceptron) are sensitive to
+the raw feature scales of Table I (character counts dwarf operator counts),
+so they are trained on standardized inputs.  :class:`StandardScaler` is the
+usual zero-mean/unit-variance transform; constant columns pass through
+unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Column-wise standardization fitted on training data."""
+
+    def __init__(self) -> None:
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Estimate per-column mean and standard deviation."""
+        X = np.asarray(X, dtype=np.float64)
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._std = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the fitted transform."""
+        if self._mean is None or self._std is None:
+            raise NotFittedError("StandardScaler is not fitted")
+        return (np.asarray(X, dtype=np.float64) - self._mean) / self._std
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on *X* and return its transform."""
+        return self.fit(X).transform(X)

@@ -1,0 +1,219 @@
+"""Recurrent neural network patch classifier (NumPy, BPTT, Adam).
+
+Reimplements the paper's RNN token model (§IV-C): an embedding layer, a
+tanh recurrent layer whose state carries context between tokens, masked
+mean-pooling over time, and a logistic head.  Training is full
+backpropagation-through-time with Adam and gradient clipping — no deep
+learning framework involved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from .base import seeded_rng
+from .logistic import sigmoid
+from .tokenizer import Vocabulary, encode_batch, patch_token_sequence
+
+__all__ = ["RNNClassifier"]
+
+
+class RNNClassifier:
+    """Binary sequence classifier over token-id sequences.
+
+    The interface intentionally differs from the feature-vector
+    :class:`~repro.ml.base.Classifier`: inputs are lists of token strings
+    (see :func:`~repro.ml.tokenizer.patch_token_sequence`).
+
+    Args:
+        embedding_dim: token embedding width.
+        hidden_dim: recurrent state width.
+        max_len: sequences are truncated/padded to this many tokens.
+        vocab_size: vocabulary cap (incl. PAD/UNK).
+        epochs: training passes.
+        batch_size: minibatch size.
+        learning_rate: Adam step size.
+        clip: global-norm gradient clip.
+        seed: parameter-init and shuffling RNG.
+    """
+
+    def __init__(
+        self,
+        embedding_dim: int = 16,
+        hidden_dim: int = 32,
+        max_len: int = 128,
+        vocab_size: int = 2000,
+        epochs: int = 6,
+        batch_size: int = 64,
+        learning_rate: float = 3e-3,
+        clip: float = 5.0,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if min(embedding_dim, hidden_dim, max_len, vocab_size, epochs, batch_size) < 1:
+            raise ModelError("invalid hyperparameters")
+        self.embedding_dim = embedding_dim
+        self.hidden_dim = hidden_dim
+        self.max_len = max_len
+        self.vocab_size = vocab_size
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.clip = clip
+        self._rng = seeded_rng(seed)
+        self.vocab: Vocabulary | None = None
+        self._params: dict[str, np.ndarray] | None = None
+        self._adam_m: dict[str, np.ndarray] | None = None
+        self._adam_v: dict[str, np.ndarray] | None = None
+        self._adam_t: int = 0
+        self.loss_history: list[float] = []
+
+    # ------------------------------------------------------------------
+
+    def _init_params(self, vocab_len: int) -> None:
+        rng = self._rng
+        e, h = self.embedding_dim, self.hidden_dim
+
+        def glorot(shape: tuple[int, ...]) -> np.ndarray:
+            bound = np.sqrt(6.0 / sum(shape))
+            return rng.uniform(-bound, bound, size=shape)
+
+        self._params = {
+            "E": glorot((vocab_len, e)) * 0.5,
+            "Wxh": glorot((e, h)),
+            "Whh": np.linalg.qr(rng.standard_normal((h, h)))[0] * 0.9,  # near-orthogonal
+            "bh": np.zeros(h),
+            "w": glorot((h,)),
+            "b": np.zeros(1),
+        }
+        self._params["E"][0] = 0.0  # PAD embeds to zero
+        self._adam_m = {k: np.zeros_like(v) for k, v in self._params.items()}
+        self._adam_v = {k: np.zeros_like(v) for k, v in self._params.items()}
+        self._adam_t = 0
+
+    # ------------------------------------------------------------------
+
+    def fit(self, sequences: list[list[str]], y: np.ndarray) -> "RNNClassifier":
+        """Train on token sequences with binary labels."""
+        y = np.asarray(y).astype(np.float64)
+        if len(sequences) != y.shape[0] or len(sequences) == 0:
+            raise ModelError("sequences and y must be non-empty and aligned")
+        self.vocab = Vocabulary(max_size=self.vocab_size).fit(sequences)
+        self._init_params(len(self.vocab))
+        ids, mask = encode_batch(self.vocab, sequences, self.max_len)
+        n = ids.shape[0]
+        self.loss_history = []
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                loss = self._train_step(ids[batch], mask[batch], y[batch])
+                epoch_loss += loss * len(batch)
+            self.loss_history.append(epoch_loss / n)
+        return self
+
+    def fit_patches(self, patches, y: np.ndarray) -> "RNNClassifier":
+        """Convenience: tokenize :class:`Patch` objects then fit."""
+        return self.fit([patch_token_sequence(p) for p in patches], y)
+
+    # ------------------------------------------------------------------
+
+    def _forward(
+        self, ids: np.ndarray, mask: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]:
+        """Run the RNN; returns (p1, pooled, cache-for-backprop)."""
+        p = self._params
+        b_sz, t_len = ids.shape
+        h = np.zeros((b_sz, self.hidden_dim))
+        hs = np.zeros((t_len + 1, b_sz, self.hidden_dim))  # hs[0] = h_{-1} = 0
+        h_tildes = np.zeros((t_len, b_sz, self.hidden_dim))
+        xs = p["E"][ids]  # (B, T, e)
+        for t in range(t_len):
+            a = xs[:, t] @ p["Wxh"] + h @ p["Whh"] + p["bh"]
+            h_tilde = np.tanh(a)
+            m = mask[:, t : t + 1]
+            h = m * h_tilde + (1.0 - m) * h
+            h_tildes[t] = h_tilde
+            hs[t + 1] = h
+        denom = mask.sum(axis=1, keepdims=True)
+        pooled = (hs[1:].transpose(1, 0, 2) * mask[:, :, None]).sum(axis=1) / denom
+        logit = pooled @ p["w"] + p["b"][0]
+        p1 = sigmoid(logit)
+        cache = {"ids": ids, "mask": mask, "xs": xs, "hs": hs, "h_tildes": h_tildes, "denom": denom, "pooled": pooled}
+        return p1, pooled, cache
+
+    def _train_step(self, ids: np.ndarray, mask: np.ndarray, y: np.ndarray) -> float:
+        p = self._params
+        b_sz, t_len = ids.shape
+        p1, pooled, cache = self._forward(ids, mask)
+        eps = 1e-9
+        loss = float(-np.mean(y * np.log(p1 + eps) + (1 - y) * np.log(1 - p1 + eps)))
+
+        grads = {k: np.zeros_like(v) for k, v in p.items()}
+        dlogit = (p1 - y) / b_sz  # (B,)
+        grads["w"] = pooled.T @ dlogit
+        grads["b"][0] = dlogit.sum()
+        dpooled = np.outer(dlogit, p["w"])  # (B, h)
+
+        hs, h_tildes, xs = cache["hs"], cache["h_tildes"], cache["xs"]
+        denom = cache["denom"]
+        dh_next = np.zeros((b_sz, self.hidden_dim))
+        dE_rows: list[tuple[np.ndarray, np.ndarray]] = []
+        for t in range(t_len - 1, -1, -1):
+            m = mask[:, t : t + 1]
+            dh = dh_next + dpooled * (m / denom)
+            da = (dh * m) * (1.0 - h_tildes[t] ** 2)
+            grads["Wxh"] += xs[:, t].T @ da
+            grads["Whh"] += hs[t].T @ da
+            grads["bh"] += da.sum(axis=0)
+            dx = da @ p["Wxh"].T
+            dE_rows.append((ids[:, t], dx))
+            dh_next = da @ p["Whh"].T + dh * (1.0 - m)
+        for row_ids, dx in dE_rows:
+            np.add.at(grads["E"], row_ids, dx)
+        grads["E"][0] = 0.0  # PAD stays zero
+
+        self._adam_update(grads)
+        return loss
+
+    def _adam_update(self, grads: dict[str, np.ndarray]) -> None:
+        # Global-norm clip.
+        total = np.sqrt(sum(float(np.sum(g * g)) for g in grads.values()))
+        scale = self.clip / total if total > self.clip else 1.0
+        self._adam_t += 1
+        b1, b2, eps = 0.9, 0.999, 1e-8
+        t = self._adam_t
+        for key, g in grads.items():
+            g = g * scale
+            self._adam_m[key] = b1 * self._adam_m[key] + (1 - b1) * g
+            self._adam_v[key] = b2 * self._adam_v[key] + (1 - b2) * g * g
+            m_hat = self._adam_m[key] / (1 - b1**t)
+            v_hat = self._adam_v[key] / (1 - b2**t)
+            self._params[key] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+        self._params["E"][0] = 0.0
+
+    # ------------------------------------------------------------------
+
+    def predict_proba(self, sequences: list[list[str]]) -> np.ndarray:
+        """Class probabilities, shape (N, 2)."""
+        if self.vocab is None or self._params is None:
+            raise NotFittedError("RNNClassifier is not fitted")
+        if not sequences:
+            return np.zeros((0, 2))
+        probs: list[np.ndarray] = []
+        for start in range(0, len(sequences), 256):
+            chunk = sequences[start : start + 256]
+            ids, mask = encode_batch(self.vocab, chunk, self.max_len)
+            p1, _, _ = self._forward(ids, mask)
+            probs.append(p1)
+        p1 = np.concatenate(probs)
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, sequences: list[list[str]]) -> np.ndarray:
+        """Hard labels at the 0.5 threshold."""
+        return (self.predict_proba(sequences)[:, 1] >= 0.5).astype(np.int64)
+
+    def predict_patches(self, patches) -> np.ndarray:
+        """Convenience: tokenize patches then predict."""
+        return self.predict([patch_token_sequence(p) for p in patches])

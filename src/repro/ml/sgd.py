@@ -1,0 +1,92 @@
+"""Stochastic gradient descent classifier (log or hinge loss).
+
+Weka/scikit-style SGD over shuffled samples with a decaying step size —
+one of the ten consensus classifiers in Table III's uncertainty baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import Classifier, check_X, check_Xy, seeded_rng
+from .logistic import sigmoid
+from .preprocess import StandardScaler
+
+__all__ = ["SGDClassifier"]
+
+
+class SGDClassifier(Classifier):
+    """Linear model trained by per-sample SGD.
+
+    Args:
+        loss: ``"log"`` (logistic) or ``"hinge"`` (linear SVM objective).
+        epochs: passes over the shuffled training set.
+        eta0: initial learning rate; step decays as ``eta0 / (1 + t * decay)``.
+        l2: ridge penalty.
+        seed: shuffling RNG.
+    """
+
+    def __init__(
+        self,
+        loss: str = "log",
+        epochs: int = 20,
+        eta0: float = 0.05,
+        l2: float = 1e-4,
+        decay: float = 1e-3,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if loss not in ("log", "hinge"):
+            raise ModelError(f"unknown loss {loss!r}")
+        if epochs < 1 or eta0 <= 0 or l2 < 0:
+            raise ModelError("invalid hyperparameters")
+        self.loss = loss
+        self.epochs = epochs
+        self.eta0 = eta0
+        self.l2 = l2
+        self.decay = decay
+        self._rng = seeded_rng(seed)
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+        self._scaler: StandardScaler | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SGDClassifier":
+        X, y = check_Xy(X, y)
+        self._n_features = X.shape[1]
+        self._scaler = StandardScaler()
+        X = self._scaler.fit_transform(X)
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        y_signed = 2.0 * y - 1.0  # hinge uses {-1, +1}
+        t = 0
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n)
+            for i in order:
+                eta = self.eta0 / (1.0 + t * self.decay)
+                t += 1
+                xi = X[i]
+                if self.loss == "log":
+                    p = sigmoid(np.array([xi @ w + b]))[0]
+                    err = p - y[i]
+                    w -= eta * (err * xi + self.l2 * w)
+                    b -= eta * err
+                else:
+                    margin = y_signed[i] * (xi @ w + b)
+                    if margin < 1.0:
+                        w -= eta * (self.l2 * w - y_signed[i] * xi)
+                        b += eta * y_signed[i]
+                    else:
+                        w -= eta * self.l2 * w
+        self.weights = w
+        self.bias = b
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self._n_features)
+        X = self._scaler.transform(X)
+        score = X @ self.weights + self.bias
+        # For hinge, squash the margin through a sigmoid as a calibration.
+        p1 = sigmoid(score)
+        return np.column_stack([1.0 - p1, p1])

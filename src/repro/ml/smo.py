@@ -1,0 +1,144 @@
+"""Sequential Minimal Optimization (simplified SMO) dual SVM solver.
+
+The paper's uncertainty baseline uses Weka's SMO classifier; this is the
+classic simplified SMO of Platt's algorithm (as popularized by the Stanford
+CS229 handout): pick a violating α pair, solve the 2-variable subproblem
+analytically, repeat until no α moves for *max_passes* consecutive sweeps.
+Linear kernel only — adequate and fast for our feature space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import Classifier, check_X, check_Xy, seeded_rng
+from .logistic import sigmoid
+from .preprocess import StandardScaler
+
+__all__ = ["SMOClassifier"]
+
+
+class SMOClassifier(Classifier):
+    """Dual linear SVM trained with simplified SMO.
+
+    Args:
+        c: box constraint on the dual variables.
+        tol: KKT violation tolerance.
+        max_passes: consecutive no-change sweeps before stopping.
+        max_iter: hard cap on total sweeps.
+        seed: RNG for partner selection.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        tol: float = 1e-3,
+        max_passes: int = 3,
+        max_iter: int = 50,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if c <= 0 or tol <= 0:
+            raise ModelError("invalid hyperparameters")
+        self.c = c
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_iter = max_iter
+        self._rng = seeded_rng(seed)
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+        self._scaler: StandardScaler | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SMOClassifier":
+        X, y = check_Xy(X, y)
+        self._n_features = X.shape[1]
+        self._scaler = StandardScaler()
+        X = self._scaler.fit_transform(X)
+        n = X.shape[0]
+        y_signed = 2.0 * y.astype(np.float64) - 1.0
+        if np.unique(y).size == 1:
+            # Degenerate one-class training: no dual problem to solve.
+            self.weights = np.zeros(X.shape[1])
+            self.bias = 10.0 if y[0] == 1 else -10.0
+            return self
+        alphas = np.zeros(n)
+        b = 0.0
+        # Cache the Gram matrix for small n; fall back to on-demand products.
+        gram = X @ X.T if n <= 4000 else None
+
+        def k(i: int, j: int) -> float:
+            if gram is not None:
+                return float(gram[i, j])
+            return float(X[i] @ X[j])
+
+        def f(i: int) -> float:
+            if gram is not None:
+                return float((alphas * y_signed) @ gram[:, i]) + b
+            return float((alphas * y_signed) @ (X @ X[i])) + b
+
+        passes = 0
+        sweeps = 0
+        while passes < self.max_passes and sweeps < self.max_iter:
+            sweeps += 1
+            changed = 0
+            for i in range(n):
+                e_i = f(i) - y_signed[i]
+                if (y_signed[i] * e_i < -self.tol and alphas[i] < self.c) or (
+                    y_signed[i] * e_i > self.tol and alphas[i] > 0
+                ):
+                    j = int(self._rng.integers(0, n - 1))
+                    if j >= i:
+                        j += 1
+                    e_j = f(j) - y_signed[j]
+                    a_i_old, a_j_old = alphas[i], alphas[j]
+                    if y_signed[i] != y_signed[j]:
+                        low = max(0.0, a_j_old - a_i_old)
+                        high = min(self.c, self.c + a_j_old - a_i_old)
+                    else:
+                        low = max(0.0, a_i_old + a_j_old - self.c)
+                        high = min(self.c, a_i_old + a_j_old)
+                    if low >= high:
+                        continue
+                    eta = 2.0 * k(i, j) - k(i, i) - k(j, j)
+                    if eta >= 0:
+                        continue
+                    a_j = a_j_old - y_signed[j] * (e_i - e_j) / eta
+                    a_j = min(high, max(low, a_j))
+                    if abs(a_j - a_j_old) < 1e-5:
+                        continue
+                    a_i = a_i_old + y_signed[i] * y_signed[j] * (a_j_old - a_j)
+                    alphas[i], alphas[j] = a_i, a_j
+                    b1 = (
+                        b
+                        - e_i
+                        - y_signed[i] * (a_i - a_i_old) * k(i, i)
+                        - y_signed[j] * (a_j - a_j_old) * k(i, j)
+                    )
+                    b2 = (
+                        b
+                        - e_j
+                        - y_signed[i] * (a_i - a_i_old) * k(i, j)
+                        - y_signed[j] * (a_j - a_j_old) * k(j, j)
+                    )
+                    if 0 < a_i < self.c:
+                        b = b1
+                    elif 0 < a_j < self.c:
+                        b = b2
+                    else:
+                        b = (b1 + b2) / 2.0
+                    changed += 1
+            passes = passes + 1 if changed == 0 else 0
+        self.weights = (alphas * y_signed) @ X
+        self.bias = b
+        return self
+
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        """Signed margins (positive = class 1)."""
+        self._require_fitted()
+        X = check_X(X, self._n_features)
+        X = self._scaler.transform(X)
+        return X @ self.weights + self.bias
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        p1 = sigmoid(self.decision_scores(X))
+        return np.column_stack([1.0 - p1, p1])

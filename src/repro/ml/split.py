@@ -1,0 +1,90 @@
+"""Train/test splitting and cross-validation folds.
+
+The paper's protocol (Tables IV and VI) is an 80/20 random split per
+dataset, combining training portions across datasets; :func:`train_test_split`
+with ``stratify=True`` reproduces it deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import seeded_rng
+
+__all__ = ["train_test_split", "stratified_kfold", "bootstrap_indices"]
+
+
+def train_test_split(
+    n: int,
+    test_fraction: float = 0.2,
+    y: np.ndarray | None = None,
+    stratify: bool = False,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Index split into (train_idx, test_idx).
+
+    Args:
+        n: number of samples.
+        test_fraction: fraction assigned to the test side.
+        y: labels; required when *stratify* is true.
+        stratify: preserve the label ratio in both sides.
+        seed: RNG seed or generator.
+
+    Returns:
+        Two disjoint, sorted index arrays covering ``range(n)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ModelError("test_fraction must be in (0, 1)")
+    rng = seeded_rng(seed)
+    if stratify:
+        if y is None:
+            raise ModelError("stratify=True requires y")
+        y = np.asarray(y)
+        if y.shape[0] != n:
+            raise ModelError("y length must equal n")
+        train_parts: list[np.ndarray] = []
+        test_parts: list[np.ndarray] = []
+        for label in np.unique(y):
+            idx = np.flatnonzero(y == label)
+            rng.shuffle(idx)
+            cut = max(1, int(round(len(idx) * test_fraction))) if len(idx) > 1 else 0
+            test_parts.append(idx[:cut])
+            train_parts.append(idx[cut:])
+        train = np.sort(np.concatenate(train_parts))
+        test = np.sort(np.concatenate(test_parts)) if test_parts else np.array([], dtype=np.int64)
+        return train, test
+    idx = rng.permutation(n)
+    cut = int(round(n * test_fraction))
+    return np.sort(idx[cut:]), np.sort(idx[:cut])
+
+
+def stratified_kfold(
+    y: np.ndarray, k: int = 5, seed: int | np.random.Generator | None = None
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``k`` (train_idx, test_idx) pairs with per-class balance."""
+    if k < 2:
+        raise ModelError("k must be >= 2")
+    y = np.asarray(y)
+    rng = seeded_rng(seed)
+    folds: list[list[int]] = [[] for _ in range(k)]
+    for label in np.unique(y):
+        idx = np.flatnonzero(y == label)
+        rng.shuffle(idx)
+        for pos, sample in enumerate(idx):
+            folds[pos % k].append(int(sample))
+    all_idx = set(range(len(y)))
+    for fold in folds:
+        test = np.array(sorted(fold), dtype=np.int64)
+        train = np.array(sorted(all_idx - set(fold)), dtype=np.int64)
+        yield train, test
+
+
+def bootstrap_indices(
+    n: int, size: int | None = None, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Sample ``size`` indices with replacement (random forest bagging)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    return rng.integers(0, n, size=size if size is not None else n)

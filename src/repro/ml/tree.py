@@ -1,0 +1,189 @@
+"""CART decision tree classifier.
+
+A from-scratch binary-classification CART with Gini or entropy impurity,
+vectorized split search (per-node, per-feature prefix-sum sweep), depth and
+leaf-size controls, and random feature subsetting so that
+:class:`~repro.ml.forest.RandomForestClassifier` can build decorrelated
+trees on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import Classifier, check_X, check_Xy, seeded_rng
+
+__all__ = ["DecisionTreeClassifier", "TreeNode"]
+
+
+@dataclass(slots=True)
+class TreeNode:
+    """One node of a fitted tree.
+
+    A leaf has ``feature == -1``; an internal node routes samples with
+    ``x[feature] <= threshold`` to ``left``.
+    """
+
+    feature: int
+    threshold: float
+    left: "TreeNode | None"
+    right: "TreeNode | None"
+    prob_positive: float
+    n_samples: int
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (leaf = 0)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def count_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        return self.left.count_leaves() + self.right.count_leaves()
+
+
+def _impurity(pos: np.ndarray, total: np.ndarray, criterion: str) -> np.ndarray:
+    """Vectorized impurity of nodes with *pos* positives out of *total*."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p = np.where(total > 0, pos / np.maximum(total, 1), 0.0)
+        if criterion == "gini":
+            return 2.0 * p * (1.0 - p)
+        # entropy
+        q = 1.0 - p
+        h = np.zeros_like(p)
+        mask = (p > 0) & (p < 1)
+        h[mask] = -(p[mask] * np.log2(p[mask]) + q[mask] * np.log2(q[mask]))
+        return h
+
+
+class DecisionTreeClassifier(Classifier):
+    """Binary CART tree.
+
+    Args:
+        max_depth: maximum tree depth (None = unbounded).
+        min_samples_split: minimum samples required to attempt a split.
+        min_samples_leaf: minimum samples each child must keep.
+        max_features: number of features considered per split; ``"sqrt"``,
+            an int, or None for all.
+        criterion: ``"gini"`` or ``"entropy"``.
+        seed: RNG for feature subsetting.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        criterion: str = "gini",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if criterion not in ("gini", "entropy"):
+            raise ModelError(f"unknown criterion {criterion!r}")
+        if min_samples_split < 2 or min_samples_leaf < 1:
+            raise ModelError("min_samples_split >= 2 and min_samples_leaf >= 1 required")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.criterion = criterion
+        self._rng = seeded_rng(seed)
+        self.root: TreeNode | None = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X, y = check_Xy(X, y)
+        self._n_features = X.shape[1]
+        self.root = self._build(X, y, depth=0)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X, self._n_features)
+        p1 = np.array([self._leaf_for(row).prob_positive for row in X])
+        return np.column_stack([1.0 - p1, p1])
+
+    # ------------------------------------------------------------------
+
+    def _n_candidate_features(self, d: int) -> int:
+        if self.max_features is None:
+            return d
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if isinstance(self.max_features, int) and self.max_features > 0:
+            return min(self.max_features, d)
+        raise ModelError(f"bad max_features {self.max_features!r}")
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        n = y.shape[0]
+        pos = int(np.sum(y))
+        prob = pos / n
+        if (
+            pos == 0
+            or pos == n
+            or n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return TreeNode(-1, 0.0, None, None, prob, n)
+
+        feature, threshold = self._best_split(X, y)
+        if feature < 0:
+            return TreeNode(-1, 0.0, None, None, prob, n)
+        mask = X[:, feature] <= threshold
+        left = self._build(X[mask], y[mask], depth + 1)
+        right = self._build(X[~mask], y[~mask], depth + 1)
+        return TreeNode(feature, threshold, left, right, prob, n)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float]:
+        """Scan candidate features; return (feature, threshold) or (-1, 0)."""
+        n, d = X.shape
+        k = self._n_candidate_features(d)
+        features = (
+            np.arange(d) if k == d else self._rng.choice(d, size=k, replace=False)
+        )
+        best_gain = 1e-12
+        best: tuple[int, float] = (-1, 0.0)
+        parent_imp = float(_impurity(np.array([np.sum(y)]), np.array([n]), self.criterion)[0])
+        min_leaf = self.min_samples_leaf
+        for f in features:
+            values = X[:, f]
+            order = np.argsort(values, kind="stable")
+            v_sorted = values[order]
+            y_sorted = y[order]
+            # Candidate cuts are between distinct adjacent values.
+            distinct = np.flatnonzero(v_sorted[1:] != v_sorted[:-1]) + 1
+            if distinct.size == 0:
+                continue
+            pos_prefix = np.cumsum(y_sorted)
+            left_n = distinct.astype(np.float64)
+            right_n = n - left_n
+            valid = (left_n >= min_leaf) & (right_n >= min_leaf)
+            if not np.any(valid):
+                continue
+            left_pos = pos_prefix[distinct - 1].astype(np.float64)
+            right_pos = pos_prefix[-1] - left_pos
+            imp_left = _impurity(left_pos, left_n, self.criterion)
+            imp_right = _impurity(right_pos, right_n, self.criterion)
+            gain = parent_imp - (left_n * imp_left + right_n * imp_right) / n
+            gain[~valid] = -np.inf
+            best_idx = int(np.argmax(gain))
+            if gain[best_idx] > best_gain:
+                best_gain = float(gain[best_idx])
+                cut = distinct[best_idx]
+                best = (int(f), float((v_sorted[cut - 1] + v_sorted[cut]) / 2.0))
+        return best
+
+    def _leaf_for(self, row: np.ndarray) -> TreeNode:
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node

@@ -1,0 +1,17 @@
+"""NVD simulator: CVE records, database builder, and the patch crawler."""
+
+from .crawler import COMMIT_URL_RE, CrawlResult, NvdCrawler
+from .database import NvdConfig, NvdDatabase, build_nvd
+from .records import PATCH_TAG, CveRecord, Reference
+
+__all__ = [
+    "COMMIT_URL_RE",
+    "CrawlResult",
+    "CveRecord",
+    "NvdConfig",
+    "NvdCrawler",
+    "NvdDatabase",
+    "PATCH_TAG",
+    "Reference",
+    "build_nvd",
+]

@@ -1,0 +1,117 @@
+"""The NVD patch crawler (§III-A).
+
+Walks CVE entries, extracts GitHub commit URLs from patch-tagged
+references, "downloads" each as a ``.patch`` file from the world's
+repositories, parses it, and strips non-C/C++ file diffs.  The output is
+the NVD-based dataset: ``(cve_id, Patch)`` pairs plus crawl statistics.
+
+The crawler never consults ground truth — like the paper's pipeline it
+trusts the NVD, including its wrong links (§V-B), so downstream experiments
+inherit that realistic label noise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..corpus.world import World
+from ..errors import NvdError
+from ..patch.gitformat import parse_patch
+from ..patch.model import Patch
+from .database import NvdDatabase
+from .records import CveRecord
+
+__all__ = ["CrawlResult", "NvdCrawler", "COMMIT_URL_RE"]
+
+#: The commit-URL shape the paper matches on (§III-A).
+COMMIT_URL_RE = re.compile(
+    r"^https://github\.com/(?P<owner>[\w.-]+)/(?P<repo>[\w.-]+)/commit/(?P<sha>[0-9a-f]{40})$"
+)
+
+
+@dataclass(slots=True)
+class CrawlResult:
+    """Outcome of one crawl.
+
+    Attributes:
+        patches: cve_id → C/C++-filtered patch.
+        repos_seen: repository slugs encountered via patch links.
+        skipped_no_link: CVEs with no patch-tagged reference.
+        skipped_bad_url: patch links not matching the commit-URL pattern.
+        skipped_fetch_failed: links whose repository/commit is unavailable.
+        skipped_non_c: patches empty after removing non-C/C++ files.
+    """
+
+    patches: dict[str, Patch] = field(default_factory=dict)
+    repos_seen: set[str] = field(default_factory=set)
+    skipped_no_link: int = 0
+    skipped_bad_url: int = 0
+    skipped_fetch_failed: int = 0
+    skipped_non_c: int = 0
+
+    @property
+    def security_patches(self) -> list[Patch]:
+        """The crawled patches in CVE-id order."""
+        return [self.patches[k] for k in sorted(self.patches)]
+
+    def summary(self) -> str:
+        """One-line crawl report."""
+        return (
+            f"{len(self.patches)} patches from {len(self.repos_seen)} repos "
+            f"(no-link={self.skipped_no_link}, bad-url={self.skipped_bad_url}, "
+            f"fetch-failed={self.skipped_fetch_failed}, non-c={self.skipped_non_c})"
+        )
+
+
+class NvdCrawler:
+    """Crawler bound to a world (its repos stand in for github.com)."""
+
+    def __init__(self, world: World) -> None:
+        self._world = world
+
+    def fetch_patch_text(self, url: str) -> str:
+        """Simulate downloading ``<commit url>.patch``.
+
+        Raises:
+            NvdError: if the URL does not resolve to a known commit.
+        """
+        m = COMMIT_URL_RE.match(url)
+        if not m:
+            raise NvdError(f"not a commit URL: {url!r}")
+        slug = f"{m.group('owner')}/{m.group('repo')}"
+        repo = self._world.repos.get(slug)
+        if repo is None or m.group("sha") not in repo:
+            raise NvdError(f"unavailable commit {url!r}")
+        return repo.patch_text(m.group("sha"))
+
+    def crawl(self, nvd: NvdDatabase) -> CrawlResult:
+        """Extract the NVD-based security patch dataset."""
+        result = CrawlResult()
+        for record in nvd.all_records():
+            self._crawl_one(record, result)
+        return result
+
+    def _crawl_one(self, record: CveRecord, result: CrawlResult) -> None:
+        patch_refs = record.patch_references()
+        if not patch_refs:
+            result.skipped_no_link += 1
+            return
+        for ref in patch_refs:
+            m = COMMIT_URL_RE.match(ref.url)
+            if not m:
+                result.skipped_bad_url += 1
+                continue
+            try:
+                text = self.fetch_patch_text(ref.url)
+            except NvdError:
+                result.skipped_fetch_failed += 1
+                continue
+            slug = f"{m.group('owner')}/{m.group('repo')}"
+            patch = parse_patch(text, repo=slug).only_c_cpp()
+            result.repos_seen.add(slug)
+            if patch.is_empty:
+                result.skipped_non_c += 1
+                continue
+            result.patches[record.cve_id] = patch
+            return

@@ -1,0 +1,137 @@
+"""The NVD simulator: CVE entries generated from the world's ground truth.
+
+Every security patch the world marked ``cve_id is not None`` becomes a CVE
+entry whose references include the GitHub-style commit URL tagged "Patch",
+plus advisory-noise references.  Imperfections the paper documents are
+reproduced as configuration:
+
+* ``missing_link_fraction`` — CVE entries whose patch link was never filed
+  ("the patch information may not be available", §II-B).
+* ``wrong_link_fraction`` — patch links pointing at an unrelated commit
+  ("up to 1% of patches may not be correct", §V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..corpus.vulnpatterns import PATTERN_NAMES
+from ..corpus.world import World
+from ..errors import NvdError
+from ..ml.base import seeded_rng
+from .records import PATCH_TAG, CveRecord, Reference
+
+__all__ = ["NvdConfig", "NvdDatabase", "build_nvd"]
+
+_CWE_BY_TYPE: dict[int, str] = {
+    1: "CWE-787",  # out-of-bounds write
+    2: "CWE-476",  # NULL dereference
+    3: "CWE-20",  # improper input validation
+    4: "CWE-190",  # integer overflow
+    5: "CWE-908",  # uninitialized resource
+    6: "CWE-704",  # incorrect type conversion
+    7: "CWE-628",  # wrong arguments
+    8: "CWE-362",  # race condition
+    9: "CWE-755",  # improper exception handling
+    10: "CWE-416",  # use after free
+    11: "CWE-693",  # protection mechanism failure
+    12: "CWE-710",  # coding standard violation
+}
+
+_NOISE_URLS = (
+    "https://seclists.org/oss-sec/{year}/q{q}/{n}",
+    "https://bugzilla.example.org/show_bug.cgi?id={n}",
+    "https://lists.example.org/advisories/{year}/{n}",
+)
+
+
+@dataclass(slots=True)
+class NvdConfig:
+    """Imperfection dials for the simulated NVD."""
+
+    missing_link_fraction: float = 0.12
+    wrong_link_fraction: float = 0.01
+    seed: int = 51
+
+    def validate(self) -> None:
+        """Raise :class:`NvdError` on out-of-range fractions."""
+        for frac in (self.missing_link_fraction, self.wrong_link_fraction):
+            if not 0.0 <= frac <= 1.0:
+                raise NvdError("fractions must be in [0, 1]")
+
+
+class NvdDatabase:
+    """Queryable container of CVE records."""
+
+    def __init__(self, records: dict[str, CveRecord]) -> None:
+        self._records = records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, cve_id: str) -> bool:
+        return cve_id in self._records
+
+    def get(self, cve_id: str) -> CveRecord:
+        """Look up one record.
+
+        Raises:
+            NvdError: if the CVE id is unknown.
+        """
+        try:
+            return self._records[cve_id]
+        except KeyError:
+            raise NvdError(f"unknown CVE id {cve_id!r}") from None
+
+    def all_records(self) -> list[CveRecord]:
+        """All records, ordered by CVE id."""
+        return [self._records[k] for k in sorted(self._records)]
+
+    def records_with_patch_links(self) -> list[CveRecord]:
+        """Records having at least one patch-tagged reference."""
+        return [r for r in self.all_records() if r.patch_references()]
+
+
+def build_nvd(world: World, config: NvdConfig | None = None) -> NvdDatabase:
+    """Create the simulated NVD from the world's CVE-reported patches."""
+    config = config or NvdConfig()
+    config.validate()
+    rng = seeded_rng(config.seed)
+    records: dict[str, CveRecord] = {}
+    all_shas = world.all_shas()
+    for sha in world.nvd_shas():
+        label = world.label(sha)
+        repo = world.repo_of(sha)
+        refs: list[Reference] = []
+        year = int(label.cve_id.split("-")[1])
+        # Advisory noise links (never patch-tagged).
+        for _ in range(int(rng.integers(1, 4))):
+            template = _NOISE_URLS[int(rng.integers(0, len(_NOISE_URLS)))]
+            refs.append(
+                Reference(
+                    template.format(year=year, q=int(rng.integers(1, 5)), n=int(rng.integers(1, 10_000)))
+                )
+            )
+        roll = rng.random()
+        if roll < config.wrong_link_fraction:
+            # A wrong patch link: points at some other commit in the world.
+            other = all_shas[int(rng.integers(0, len(all_shas)))]
+            url = world.repo_of(other).commit_url(other)
+            refs.append(Reference(url, tags=(PATCH_TAG,)))
+        elif roll < config.wrong_link_fraction + config.missing_link_fraction:
+            pass  # no patch link filed at all
+        else:
+            refs.append(Reference(repo.commit_url(sha), tags=(PATCH_TAG,)))
+        pattern = PATTERN_NAMES.get(label.pattern_type or 0, "unspecified weakness")
+        records[label.cve_id] = CveRecord(
+            cve_id=label.cve_id,
+            description=f"A vulnerability in {repo.slug} allows attackers to trigger "
+            f"memory corruption; fixed by: {pattern}.",
+            cwe_id=_CWE_BY_TYPE.get(label.pattern_type or 0, "NVD-CWE-noinfo"),
+            cvss_score=float(np.round(rng.uniform(3.0, 9.9), 1)),
+            references=tuple(refs),
+            published=f"{year}-{int(rng.integers(1, 13)):02d}-{int(rng.integers(1, 29)):02d}",
+        )
+    return NvdDatabase(records)

@@ -1,0 +1,56 @@
+"""CVE record model for the NVD simulator.
+
+Mirrors the fields the paper relies on: the CVE id, reference URLs (only
+some of which are tagged "Patch"), CWE classification, and CVSS severity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Reference", "CveRecord", "PATCH_TAG"]
+
+PATCH_TAG = "Patch"
+
+
+@dataclass(frozen=True, slots=True)
+class Reference:
+    """An external reference attached to a CVE entry."""
+
+    url: str
+    tags: tuple[str, ...] = ()
+
+    @property
+    def is_patch(self) -> bool:
+        """True if the reference is tagged as a patch link."""
+        return PATCH_TAG in self.tags
+
+
+@dataclass(frozen=True, slots=True)
+class CveRecord:
+    """One NVD entry.
+
+    Attributes:
+        cve_id: e.g. ``CVE-2019-20912``.
+        description: vulnerability summary text.
+        cwe_id: weakness classification, e.g. ``CWE-787``.
+        cvss_score: base severity in [0, 10].
+        references: advisory/solution/patch links.
+        published: publication date string.
+    """
+
+    cve_id: str
+    description: str = ""
+    cwe_id: str = ""
+    cvss_score: float = 5.0
+    references: tuple[Reference, ...] = ()
+    published: str = ""
+
+    def patch_references(self) -> tuple[Reference, ...]:
+        """References tagged as patches."""
+        return tuple(r for r in self.references if r.is_patch)
+
+    @property
+    def year(self) -> int:
+        """The CVE's year component."""
+        return int(self.cve_id.split("-")[1])

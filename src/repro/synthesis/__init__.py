@@ -1,0 +1,18 @@
+"""Source-level patch oversampling (§III-C): Fig. 5 variants and engine."""
+
+from .engine import PatchSynthesizer, SyntheticPatch, synthesize_from_texts
+from .locator import LocatedIf, locate_ifs, touched_lines
+from .variants import N_VARIANTS, VARIANTS, Variant, apply_variant_text
+
+__all__ = [
+    "LocatedIf",
+    "N_VARIANTS",
+    "PatchSynthesizer",
+    "SyntheticPatch",
+    "VARIANTS",
+    "Variant",
+    "apply_variant_text",
+    "locate_ifs",
+    "synthesize_from_texts",
+    "touched_lines",
+]

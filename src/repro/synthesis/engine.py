@@ -1,0 +1,179 @@
+"""The oversampling engine (Fig. 4).
+
+For each natural patch: retrieve the BEFORE and AFTER versions of every
+touched file from the repository, locate patch-related ``if`` statements in
+one version, apply a Fig. 5 variant there, and re-diff.  Modifying the
+AFTER version composes the extra change *onto* the patch; modifying the
+BEFORE version composes its inverse *under* the patch (§III-C-3) — either
+way the synthetic patch embeds the original fix plus new control-flow
+scaffolding, which is exactly what the paper's oversampler produces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..corpus.world import World
+from ..diffing.unified_gen import diff_texts
+from ..errors import SynthesisError
+from ..ml.base import seeded_rng
+from ..patch.model import Patch
+from .locator import locate_ifs, touched_lines
+from .variants import VARIANTS, Variant, apply_variant_text
+
+__all__ = ["SyntheticPatch", "PatchSynthesizer", "synthesize_from_texts"]
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticPatch:
+    """A generated patch plus its provenance.
+
+    Attributes:
+        patch: the synthetic patch.
+        origin_sha: the natural patch it derives from.
+        variant_id: which Fig. 5 template was applied.
+        side: ``"before"`` or ``"after"`` — which version was modified.
+    """
+
+    patch: Patch
+    origin_sha: str
+    variant_id: int
+    side: str
+
+
+def _synthetic_sha(origin: str, variant_id: int, side: str, site: int) -> str:
+    """Deterministic 40-hex id for a synthetic patch."""
+    return hashlib.sha1(f"{origin}:{variant_id}:{side}:{site}".encode()).hexdigest()
+
+
+def synthesize_from_texts(
+    before: str,
+    after: str,
+    path: str,
+    variant: Variant,
+    side: str = "after",
+    site_index: int = 0,
+) -> tuple[str, str] | None:
+    """Apply one variant to one file pair; returns the new (before, after).
+
+    Args:
+        before: pre-patch file contents.
+        after: post-patch file contents.
+        path: file path (for diagnostics only).
+        variant: the Fig. 5 template.
+        side: which version to modify.
+        site_index: which located if statement to transform.
+
+    Returns:
+        The new ``(before, after)`` texts, or None when no applicable
+        ``if`` site exists.
+
+    Raises:
+        SynthesisError: for an invalid *side*.
+    """
+    if side not in ("before", "after"):
+        raise SynthesisError(f"side must be 'before' or 'after', got {side!r}")
+    fdiff = diff_texts(before, after, path)
+    if not fdiff.hunks:
+        return None
+    source = before if side == "before" else after
+    sites = locate_ifs(source, touched_lines(fdiff, side))
+    if site_index >= len(sites):
+        return None
+    stmt = sites[site_index].stmt
+    suffix = f"{abs(hash((path, stmt.start_line, variant.variant_id))) % 10_000:04d}"
+    try:
+        new_source = apply_variant_text(
+            source,
+            variant,
+            (stmt.cond_open_line, stmt.cond_open_col),
+            (stmt.cond_close_line, stmt.cond_close_col),
+            stmt.start_line,
+            suffix,
+        )
+    except SynthesisError:
+        return None
+    if side == "before":
+        return new_source, after
+    return before, new_source
+
+
+class PatchSynthesizer:
+    """Oversampler bound to a world (for BEFORE/AFTER retrieval).
+
+    Args:
+        world: the world holding the repositories.
+        max_per_patch: cap on synthetic patches generated per natural patch.
+        seed: RNG choosing variants, sides, and sites.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        max_per_patch: int = 4,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if max_per_patch < 1:
+            raise SynthesisError("max_per_patch must be >= 1")
+        self._world = world
+        self.max_per_patch = max_per_patch
+        self._rng = seeded_rng(seed)
+
+    def synthesize(self, sha: str) -> list[SyntheticPatch]:
+        """Generate synthetic patches for one natural commit."""
+        label = self._world.label(sha)
+        repo = self._world.repo_of(sha)
+        before_tree, after_tree = repo.before_after(sha)
+        natural = self._world.patch_for(sha)
+        out: list[SyntheticPatch] = []
+        order = self._rng.permutation(len(VARIANTS))
+        for k in range(len(VARIANTS)):
+            if len(out) >= self.max_per_patch:
+                break
+            variant = VARIANTS[int(order[k])]
+            side = "after" if self._rng.random() < 0.7 else "before"
+            synthetic = self._synthesize_one(natural, before_tree, after_tree, variant, side, k)
+            if synthetic is not None:
+                out.append(synthetic)
+        return out
+
+    def _synthesize_one(
+        self,
+        natural: Patch,
+        before_tree: dict[str, str],
+        after_tree: dict[str, str],
+        variant: Variant,
+        side: str,
+        site_round: int,
+    ) -> SyntheticPatch | None:
+        for fdiff in natural.files:
+            path = fdiff.path
+            before = before_tree.get(path, "")
+            after = after_tree.get(path, "")
+            result = synthesize_from_texts(before, after, path, variant, side, site_index=0)
+            if result is None and side == "after":
+                result = synthesize_from_texts(before, after, path, variant, "before", site_index=0)
+                side = "before" if result is not None else side
+            if result is None:
+                continue
+            new_before, new_after = result
+            new_fdiff = diff_texts(new_before, new_after, path)
+            if not new_fdiff.hunks:
+                continue
+            files = tuple(new_fdiff if f.path == path else f for f in natural.files)
+            sha = _synthetic_sha(natural.sha, variant.variant_id, side, site_round)
+            patch = replace(natural, sha=sha, files=files)
+            return SyntheticPatch(
+                patch=patch, origin_sha=natural.sha, variant_id=variant.variant_id, side=side
+            )
+        return None
+
+    def synthesize_many(self, shas: list[str]) -> list[SyntheticPatch]:
+        """Bulk :meth:`synthesize` (flattened)."""
+        out: list[SyntheticPatch] = []
+        for sha in shas:
+            out.extend(self.synthesize(sha))
+        return out

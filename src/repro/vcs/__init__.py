@@ -1,0 +1,6 @@
+"""In-memory git-like version control substrate (GitHub replacement)."""
+
+from .objects import Blob, CommitObject, Snapshot, sha1_hex
+from .repository import Repository
+
+__all__ = ["Blob", "CommitObject", "Repository", "Snapshot", "sha1_hex"]

@@ -1,0 +1,91 @@
+"""Content-addressed objects of the in-memory version-control substrate.
+
+Mirrors git's object model closely enough that commit hashes behave like
+real ones: blobs hash their content, snapshots (trees) hash their sorted
+path→blob mapping, commits hash snapshot + parent + metadata.  All ids are
+40-hex SHA-1 strings, so they slot directly into the
+``github.com/{owner}/{repo}/commit/{hash}`` URL scheme the NVD crawler
+expects (§III-A).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["sha1_hex", "Blob", "Snapshot", "CommitObject"]
+
+
+def sha1_hex(kind: str, payload: bytes) -> str:
+    """Git-style object id: ``sha1(b"<kind> <len>\\0<payload>")``."""
+    header = f"{kind} {len(payload)}".encode() + b"\x00"
+    return hashlib.sha1(header + payload).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class Blob:
+    """One file version."""
+
+    content: str
+
+    @property
+    def oid(self) -> str:
+        """The blob's object id."""
+        return sha1_hex("blob", self.content.encode())
+
+
+@dataclass(frozen=True, slots=True)
+class Snapshot:
+    """A full working-tree snapshot: path → blob id."""
+
+    entries: tuple[tuple[str, str], ...]  # sorted (path, blob_oid)
+
+    @classmethod
+    def from_mapping(cls, mapping: dict[str, str]) -> "Snapshot":
+        """Build a snapshot from a path → blob-id dict."""
+        return cls(tuple(sorted(mapping.items())))
+
+    def as_dict(self) -> dict[str, str]:
+        """Path → blob-id mapping."""
+        return dict(self.entries)
+
+    @property
+    def oid(self) -> str:
+        """The snapshot's object id."""
+        payload = "\n".join(f"{path}\x00{oid}" for path, oid in self.entries).encode()
+        return sha1_hex("tree", payload)
+
+    @property
+    def paths(self) -> tuple[str, ...]:
+        """All file paths in the snapshot."""
+        return tuple(path for path, _ in self.entries)
+
+
+@dataclass(frozen=True, slots=True)
+class CommitObject:
+    """A commit: snapshot + parent + metadata."""
+
+    snapshot_oid: str
+    parent_oid: str | None
+    author: str
+    date: str
+    message: str
+
+    @property
+    def oid(self) -> str:
+        """The commit's object id (its 'sha')."""
+        payload = "\n".join(
+            [
+                f"tree {self.snapshot_oid}",
+                f"parent {self.parent_oid or ''}",
+                f"author {self.author} {self.date}",
+                "",
+                self.message,
+            ]
+        ).encode()
+        return sha1_hex("commit", payload)
+
+    @property
+    def subject(self) -> str:
+        """First line of the commit message."""
+        return self.message.split("\n", 1)[0]

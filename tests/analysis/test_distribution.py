@@ -1,0 +1,87 @@
+"""Tests for distribution statistics."""
+
+import pytest
+
+from repro.analysis import (
+    distribution_table,
+    gini_coefficient,
+    head_share,
+    rank_types,
+    total_variation_distance,
+    type_distribution,
+)
+
+
+class TestTypeDistribution:
+    def test_normalized(self):
+        dist = type_distribution([1, 1, 8, 8, 8, 3])
+        assert dist[8] == pytest.approx(0.5)
+        assert dist[1] == pytest.approx(2 / 6)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_all_twelve_keys_present(self):
+        dist = type_distribution([1])
+        assert sorted(dist) == list(range(1, 13))
+        assert dist[12] == 0.0
+
+    def test_empty_input(self):
+        dist = type_distribution([])
+        assert all(v == 0.0 for v in dist.values())
+
+
+class TestRanking:
+    def test_rank_types(self):
+        dist = type_distribution([8, 8, 8, 3, 3, 1])
+        assert rank_types(dist)[:3] == [8, 3, 1]
+
+    def test_ties_broken_by_id(self):
+        dist = type_distribution([2, 1])
+        assert rank_types(dist)[:2] == [1, 2]
+
+
+class TestHeadShare:
+    def test_top3(self):
+        dist = type_distribution([8] * 5 + [3] * 3 + [1] * 2 + [2])
+        assert head_share(dist, 3) == pytest.approx(10 / 11)
+
+    def test_uniform_head(self):
+        dist = {t: 1 / 12 for t in range(1, 13)}
+        assert head_share(dist, 3) == pytest.approx(0.25)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        dist = {t: 1 / 12 for t in range(1, 13)}
+        assert gini_coefficient(dist) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentration_increases_gini(self):
+        spread = type_distribution([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12])
+        concentrated = type_distribution([8] * 20 + [1])
+        assert gini_coefficient(concentrated) > gini_coefficient(spread)
+
+    def test_empty(self):
+        assert gini_coefficient({}) == 0.0
+
+
+class TestTvDistance:
+    def test_identical_is_zero(self):
+        a = type_distribution([1, 2, 3])
+        assert total_variation_distance(a, a) == pytest.approx(0.0)
+
+    def test_disjoint_is_one(self):
+        a = type_distribution([1, 1])
+        b = type_distribution([2, 2])
+        assert total_variation_distance(a, b) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a = type_distribution([1, 2, 8, 8])
+        b = type_distribution([3, 8])
+        assert total_variation_distance(a, b) == total_variation_distance(b, a)
+
+
+class TestRendering:
+    def test_table_lists_all_types(self):
+        text = distribution_table(type_distribution([8, 8, 1]), "Title")
+        assert "Title" in text
+        assert "add or change function calls" in text
+        assert text.count("\n") >= 12

@@ -1,0 +1,148 @@
+"""Structural tests for the experiment harnesses at TINY scale.
+
+These assert protocol structure and qualitative shape, not exact numbers —
+the TINY world is too small for stable ML metrics (SMALL/MEDIUM benches
+measure those).
+"""
+
+import pytest
+
+from repro.analysis import (
+    run_fig6,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+
+class TestExperimentWorld:
+    def test_nvd_seed_nonempty(self, experiment_world):
+        assert len(experiment_world.nvd_seed_shas) > 0
+
+    def test_seed_shas_are_crawled_not_ground_truth(self, experiment_world):
+        # The seed comes from the crawler, so missing-link CVEs are absent.
+        assert len(experiment_world.nvd_seed_shas) <= len(experiment_world.world.nvd_shas())
+
+    def test_wild_pool_excludes_seed(self, experiment_world):
+        pool = experiment_world.wild_pool(100)
+        assert not set(pool) & set(experiment_world.nvd_seed_shas)
+
+    def test_wild_pool_exclusions_respected(self, experiment_world):
+        first = experiment_world.wild_pool(50)
+        second = experiment_world.wild_pool(50, exclude=set(first), seed=1)
+        assert not set(first) & set(second)
+
+    def test_nonsec_sample_is_clean(self, experiment_world):
+        for sha in experiment_world.ground_truth_nonsec(40):
+            assert not experiment_world.world.label(sha).is_security
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        from repro.analysis.experiments import TINY, ExperimentWorld
+
+        a = ExperimentWorld.cached(TINY, seed=7, cache_dir=tmp_path)
+        b = ExperimentWorld.cached(TINY, seed=7, cache_dir=tmp_path)
+        assert a.nvd_seed_shas == b.nvd_seed_shas
+        assert (tmp_path / f"expworld_tiny_{TINY.n_commits}_7.pkl").exists()
+
+
+class TestTable2:
+    def test_five_rounds(self, experiment_world):
+        outcome = run_table2(experiment_world)
+        assert len(outcome.rounds) == 5
+        assert [r.set_name for r in outcome.rounds] == [
+            "Set I", "Set I", "Set I", "Set II", "Set III",
+        ]
+
+    def test_all_found_patches_are_security(self, experiment_world):
+        outcome = run_table2(experiment_world)
+        nvd = set(experiment_world.nvd_seed_shas)
+        for sha in outcome.security_shas:
+            if sha not in nvd:
+                assert experiment_world.world.label(sha).is_security
+
+    def test_beats_base_rate_in_aggregate(self, experiment_world):
+        outcome = run_table2(experiment_world)
+        # Base security rate is ~6-9%; nearest link should concentrate it.
+        # A single TINY round is noisy, so assert on the aggregate yield.
+        candidates = sum(r.candidates for r in outcome.rounds)
+        verified = sum(r.verified_security for r in outcome.rounds)
+        assert verified / candidates > 0.1
+
+
+class TestTable3:
+    def test_four_methods(self, experiment_world):
+        results = run_table3(experiment_world)
+        assert [r.method for r in results] == [
+            "Brute Force Search",
+            "Pseudo Labeling",
+            "Uncertainty-based Labeling",
+            "Nearest Link Search (ours)",
+        ]
+
+    def test_brute_force_candidates_whole_pool(self, experiment_world):
+        results = run_table3(experiment_world)
+        assert results[0].n_candidates == results[0].pool_size
+
+    def test_nearest_link_beats_brute_force(self, experiment_world):
+        results = run_table3(experiment_world)
+        assert results[3].proportion > results[0].proportion
+
+
+class TestTable4:
+    def test_four_rows(self, experiment_world):
+        result = run_table4(experiment_world)
+        assert len(result.rows) == 4
+        datasets = [r[0] for r in result.rows]
+        assert datasets == ["NVD", "NVD", "NVD+Wild", "NVD+Wild"]
+
+    def test_synthetic_rows_report_counts(self, experiment_world):
+        result = run_table4(experiment_world)
+        assert "Sec" in result.rows[1][1]
+        assert result.rows[0][1] == "-"
+
+    def test_metrics_in_range(self, experiment_world):
+        for _, _, p, r in run_table4(experiment_world).rows:
+            assert 0.0 <= p <= 1.0
+            assert 0.0 <= r <= 1.0
+
+
+class TestTable5:
+    def test_distribution_over_twelve_types(self, experiment_world):
+        result = run_table5(experiment_world, sample_size=100)
+        assert sorted(result.distribution) == list(range(1, 13))
+        assert sum(result.distribution.values()) == pytest.approx(1.0)
+
+    def test_sample_capped(self, experiment_world):
+        result = run_table5(experiment_world, sample_size=10)
+        assert result.n_patches == 10
+
+    def test_table_renders(self, experiment_world):
+        assert "sanity checks" in run_table5(experiment_world, 50).table()
+
+
+class TestFig6:
+    def test_distributions_differ(self, experiment_world):
+        result = run_fig6(experiment_world)
+        assert result.tv_distance > 0.0
+
+    def test_table_renders(self, experiment_world):
+        assert "TV distance" in run_fig6(experiment_world).table()
+
+
+class TestTable6:
+    def test_eight_rows(self, experiment_world):
+        result = run_table6(experiment_world)
+        assert len(result.rows) == 8
+        trains = {r[0] for r in result.rows}
+        algos = {r[1] for r in result.rows}
+        tests = {r[2] for r in result.rows}
+        assert trains == {"NVD", "NVD+Wild"}
+        assert algos == {"Random Forest", "RNN"}
+        assert tests == {"NVD", "Wild"}
+
+    def test_metrics_in_range(self, experiment_world):
+        for _, _, _, p, r in run_table6(experiment_world).rows:
+            assert 0.0 <= p <= 1.0
+            assert 0.0 <= r <= 1.0

@@ -1,0 +1,44 @@
+"""Tests for the per-world feature cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import PatchFeatureCache
+from repro.features import FEATURE_COUNT, feature_index
+
+
+class TestPatchFeatureCache:
+    def test_vector_shape(self, tiny_world):
+        cache = PatchFeatureCache(tiny_world)
+        vec = cache.vector(tiny_world.all_shas()[0])
+        assert vec.shape == (FEATURE_COUNT,)
+
+    def test_vector_cached(self, tiny_world):
+        cache = PatchFeatureCache(tiny_world)
+        sha = tiny_world.all_shas()[0]
+        assert cache.vector(sha) is cache.vector(sha)
+        assert len(cache) == 1
+
+    def test_matrix_order_matches_input(self, tiny_world):
+        cache = PatchFeatureCache(tiny_world)
+        shas = tiny_world.all_shas()[:5]
+        matrix = cache.matrix(shas)
+        for i, sha in enumerate(shas):
+            assert np.array_equal(matrix[i], cache.vector(sha))
+
+    def test_empty_matrix(self, tiny_world):
+        assert PatchFeatureCache(tiny_world).matrix([]).shape == (0, FEATURE_COUNT)
+
+    def test_repo_context_used(self, tiny_world):
+        """With context, affected-files percent reflects the repo size."""
+        with_ctx = PatchFeatureCache(tiny_world, use_repo_context=True)
+        without = PatchFeatureCache(tiny_world, use_repo_context=False)
+        idx = feature_index("affected_files_pct")
+        sha = tiny_world.all_shas()[0]
+        # Context divides by total repo files (>1); fallback uses 1.0.
+        assert with_ctx.vector(sha)[idx] < without.vector(sha)[idx]
+
+    def test_unknown_sha_raises(self, tiny_world):
+        cache = PatchFeatureCache(tiny_world)
+        with pytest.raises(KeyError):
+            cache.vector("f" * 40)

@@ -1,0 +1,129 @@
+"""Tests for nearest link search (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import exact_assignment, link_distances, nearest_link_search
+from repro.errors import AugmentationError
+
+
+class TestBasics:
+    def test_trivial_one_to_one(self):
+        d = np.array([[1.0, 5.0], [5.0, 1.0]])
+        result = nearest_link_search(d)
+        assert result.links.tolist() == [0, 1]
+        assert result.total_distance == 2.0
+
+    def test_collision_resolved(self):
+        # Both rows prefer column 0; the second must take its next best.
+        d = np.array([[1.0, 10.0, 20.0], [2.0, 3.0, 20.0]])
+        result = nearest_link_search(d)
+        assert sorted(result.links.tolist()) == [0, 1]
+        assert result.total_distance == 4.0
+
+    def test_greedy_order_by_row_minimum(self):
+        # Row 1 has the global minimum, so it claims col 0 first; row 0
+        # falls back to col 1.
+        d = np.array([[2.0, 3.0], [1.0, 9.0]])
+        result = nearest_link_search(d)
+        assert result.links.tolist() == [1, 0]
+        assert result.total_distance == 4.0
+
+    def test_single_row(self):
+        d = np.array([[3.0, 1.0, 2.0]])
+        result = nearest_link_search(d)
+        assert result.links.tolist() == [1]
+
+    def test_square_matrix_permutation(self):
+        rng = np.random.default_rng(0)
+        d = rng.uniform(size=(8, 8))
+        result = nearest_link_search(d)
+        assert sorted(result.links.tolist()) == list(range(8))
+
+    def test_candidate_set_sorted_unique(self):
+        d = np.random.default_rng(1).uniform(size=(5, 12))
+        result = nearest_link_search(d)
+        cs = result.candidate_set
+        assert len(cs) == 5
+        assert np.array_equal(cs, np.unique(cs))
+
+
+class TestValidation:
+    def test_more_rows_than_cols_raises(self):
+        with pytest.raises(AugmentationError):
+            nearest_link_search(np.ones((3, 2)))
+
+    def test_empty_raises(self):
+        with pytest.raises(AugmentationError):
+            nearest_link_search(np.zeros((0, 5)))
+
+    def test_one_d_raises(self):
+        with pytest.raises(AugmentationError):
+            nearest_link_search(np.ones(4))
+
+
+class TestAgainstExact:
+    def test_exact_is_optimal_reference(self):
+        d = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+        exact = exact_assignment(d)
+        greedy = nearest_link_search(d)
+        assert exact.total_distance <= greedy.total_distance
+
+    @given(
+        d=arrays(
+            np.float64,
+            st.tuples(st.integers(1, 6), st.integers(6, 10)),
+            elements=st.floats(0, 100),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_greedy_never_beats_exact(self, d):
+        greedy = nearest_link_search(d)
+        exact = exact_assignment(d)
+        assert greedy.total_distance >= exact.total_distance - 1e-9
+
+    @given(
+        d=arrays(
+            np.float64,
+            st.tuples(st.integers(1, 8), st.integers(8, 14)),
+            elements=st.floats(0, 100),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_links_always_distinct(self, d):
+        result = nearest_link_search(d)
+        assert len(set(result.links.tolist())) == d.shape[0]
+
+    @given(
+        d=arrays(
+            np.float64,
+            st.tuples(st.integers(2, 5), st.integers(5, 9)),
+            elements=st.floats(0, 50),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_matches_link_distances(self, d):
+        result = nearest_link_search(d)
+        assert result.total_distance == pytest.approx(link_distances(d, result).sum())
+
+
+class TestKnnContrast:
+    def test_knn_reuses_neighbors_nearest_link_does_not(self):
+        """§III-B-3: KNN may assign one wild patch to many queries; the
+        nearest link consumes each candidate at most once."""
+        from repro.ml import KNeighborsClassifier
+
+        # Three identical queries, one overwhelmingly attractive neighbor.
+        wild = np.array([[0.0, 0.0], [10.0, 10.0], [11.0, 11.0], [12.0, 12.0]])
+        queries = np.array([[0.1, 0.1], [0.2, 0.2], [0.3, 0.3]])
+        knn = KNeighborsClassifier(k=1, standardize=False)
+        knn.fit(wild, np.array([1, 0, 0, 1]))
+        knn_choices = knn.kneighbors(queries).ravel()
+        assert len(set(knn_choices.tolist())) == 1  # all reuse wild[0]
+
+        d = np.linalg.norm(queries[:, None, :] - wild[None, :, :], axis=2)
+        nl_choices = nearest_link_search(d).links
+        assert len(set(nl_choices.tolist())) == 3  # all distinct

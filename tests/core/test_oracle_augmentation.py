@@ -1,0 +1,140 @@
+"""Tests for the verification oracle and the augmentation loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DatasetAugmentation,
+    PatchFeatureCache,
+    SearchSet,
+    VerificationOracle,
+)
+from repro.errors import AugmentationError
+
+
+@pytest.fixture(scope="module")
+def cache(tiny_world):
+    return PatchFeatureCache(tiny_world)
+
+
+class TestOracle:
+    def test_perfect_oracle_matches_truth(self, tiny_world):
+        oracle = VerificationOracle(tiny_world, seed=0)
+        for sha in tiny_world.all_shas()[:50]:
+            assert oracle.verify(sha) == tiny_world.label(sha).is_security
+
+    def test_stats_accumulate(self, tiny_world):
+        oracle = VerificationOracle(tiny_world, seed=0)
+        shas = tiny_world.all_shas()[:30]
+        verdicts = oracle.verify_many(shas)
+        assert oracle.stats.candidates_reviewed == 30
+        assert oracle.stats.labeled_security == int(verdicts.sum())
+        assert oracle.stats.labeled_non_security == 30 - int(verdicts.sum())
+
+    def test_noisy_oracle_flips_some(self, tiny_world):
+        noisy = VerificationOracle(tiny_world, annotator_error_rate=0.45, seed=1)
+        shas = tiny_world.all_shas()[:200]
+        truth = np.array([tiny_world.label(s).is_security for s in shas])
+        verdicts = noisy.verify_many(shas)
+        assert np.any(verdicts != truth)
+        assert noisy.stats.disagreements > 0
+
+    def test_majority_vote_suppresses_small_noise(self, tiny_world):
+        slightly_noisy = VerificationOracle(
+            tiny_world, n_annotators=3, annotator_error_rate=0.05, seed=2
+        )
+        shas = tiny_world.all_shas()[:200]
+        truth = np.array([tiny_world.label(s).is_security for s in shas])
+        verdicts = slightly_noisy.verify_many(shas)
+        # Majority of 3 at 5% flip rate -> < 1% expected decision errors.
+        assert np.mean(verdicts != truth) < 0.05
+
+    def test_even_panel_rejected(self, tiny_world):
+        with pytest.raises(AugmentationError):
+            VerificationOracle(tiny_world, n_annotators=2)
+
+    def test_bad_error_rate_rejected(self, tiny_world):
+        with pytest.raises(AugmentationError):
+            VerificationOracle(tiny_world, annotator_error_rate=0.7)
+
+
+class TestAugmentationRound:
+    def test_round_partitions_candidates(self, tiny_world, cache):
+        oracle = VerificationOracle(tiny_world, seed=3)
+        aug = DatasetAugmentation(cache, oracle)
+        seed_sec = tiny_world.nvd_shas()
+        pool = tiny_world.wild_shas()[:150]
+        verified, rejected = aug.run_round(seed_sec, pool)
+        assert len(verified) + len(rejected) <= len(seed_sec)
+        assert set(verified) <= set(pool)
+        assert set(rejected) <= set(pool)
+        assert not set(verified) & set(rejected)
+
+    def test_verified_are_truly_security(self, tiny_world, cache):
+        aug = DatasetAugmentation(cache, VerificationOracle(tiny_world, seed=4))
+        verified, _ = aug.run_round(tiny_world.nvd_shas(), tiny_world.wild_shas()[:150])
+        for sha in verified:
+            assert tiny_world.label(sha).is_security
+
+    def test_pool_smaller_than_seed_raises(self, tiny_world, cache):
+        aug = DatasetAugmentation(cache, VerificationOracle(tiny_world, seed=5))
+        seed_sec = tiny_world.security_shas()
+        with pytest.raises(AugmentationError):
+            aug.run_round(seed_sec, tiny_world.wild_shas()[: len(seed_sec) - 1])
+
+
+class TestSchedule:
+    def test_rounds_recorded(self, tiny_world, cache):
+        aug = DatasetAugmentation(cache, VerificationOracle(tiny_world, seed=6))
+        pool = tuple(tiny_world.wild_shas()[:200])
+        outcome = aug.run_schedule(tiny_world.nvd_shas(), [SearchSet("Set I", pool, rounds=2)])
+        assert len(outcome.rounds) == 2
+        assert outcome.rounds[0].round_no == 1
+        assert outcome.rounds[1].round_no == 2
+
+    def test_security_set_grows_monotonically(self, tiny_world, cache):
+        aug = DatasetAugmentation(cache, VerificationOracle(tiny_world, seed=7))
+        seed_sec = tiny_world.nvd_shas()
+        pool = tuple(tiny_world.wild_shas()[:200])
+        outcome = aug.run_schedule(seed_sec, [SearchSet("Set I", pool, rounds=2)])
+        assert len(outcome.security_shas) == len(seed_sec) + outcome.wild_security_count
+
+    def test_candidates_not_reused_across_rounds(self, tiny_world, cache):
+        aug = DatasetAugmentation(cache, VerificationOracle(tiny_world, seed=8))
+        pool = tuple(tiny_world.wild_shas()[:200])
+        outcome = aug.run_schedule(tiny_world.nvd_shas(), [SearchSet("Set I", pool, rounds=3)])
+        reviewed = outcome.security_shas + outcome.non_security_shas
+        wild_reviewed = [s for s in reviewed if s not in set(tiny_world.nvd_shas())]
+        assert len(wild_reviewed) == len(set(wild_reviewed))
+
+    def test_ratio_threshold_stops_early(self, tiny_world, cache):
+        aug = DatasetAugmentation(
+            cache, VerificationOracle(tiny_world, seed=9), ratio_threshold=1.0
+        )
+        pool = tuple(tiny_world.wild_shas()[:200])
+        outcome = aug.run_schedule(tiny_world.nvd_shas(), [SearchSet("Set I", pool, rounds=5)])
+        assert len(outcome.rounds) == 1  # no round can reach ratio >= 1.0 here
+
+    def test_table_renders(self, tiny_world, cache):
+        aug = DatasetAugmentation(cache, VerificationOracle(tiny_world, seed=10))
+        pool = tuple(tiny_world.wild_shas()[:150])
+        outcome = aug.run_schedule(tiny_world.nvd_shas(), [SearchSet("Set I", pool, rounds=1)])
+        text = outcome.table()
+        assert "Set I" in text
+        assert "ratio=" in text
+
+    def test_round_result_ratio(self):
+        from repro.core import RoundResult
+
+        r = RoundResult(1, "Set I", 100, 50, 10)
+        assert r.ratio == pytest.approx(0.2)
+        empty = RoundResult(1, "Set I", 100, 0, 0)
+        assert empty.ratio == 0.0
+
+    def test_bad_threshold_rejected(self, tiny_world, cache):
+        with pytest.raises(AugmentationError):
+            DatasetAugmentation(cache, VerificationOracle(tiny_world), ratio_threshold=2.0)
+
+    def test_empty_search_set_rejected(self):
+        with pytest.raises(AugmentationError):
+            SearchSet("empty", (), rounds=1)

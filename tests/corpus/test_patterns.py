@@ -1,0 +1,115 @@
+"""Tests for the security and non-security patch generators."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    NONSEC_GENERATORS,
+    PATTERN_NAMES,
+    SECURITY_GENERATORS,
+    CodeGenerator,
+    apply_nonsec_pattern,
+    apply_security_pattern,
+)
+from repro.diffing import diff_texts
+from repro.lang import parse_translation_unit
+
+
+@pytest.fixture(scope="module")
+def source():
+    """A generated file rich enough for every pattern to find an anchor."""
+    gen = CodeGenerator(11)
+    return gen.gen_file(n_functions=6).render()
+
+
+def _apply_with_retries(func, text, tries=25):
+    for seed in range(tries):
+        out = func(text, np.random.default_rng(seed))
+        if out is not None and out != text:
+            return out
+    return None
+
+
+class TestSecurityGenerators:
+    def test_twelve_patterns_defined(self):
+        assert sorted(SECURITY_GENERATORS) == list(range(1, 13))
+        assert sorted(PATTERN_NAMES) == list(range(1, 13))
+
+    @pytest.mark.parametrize("ptype", sorted(SECURITY_GENERATORS))
+    def test_pattern_produces_valid_change(self, source, ptype):
+        out = _apply_with_retries(lambda t, r: apply_security_pattern(t, ptype, r), source)
+        assert out is not None, f"pattern {ptype} never applied"
+        # The mutated file must still parse and must differ.
+        parse_translation_unit(out)
+        d = diff_texts(source, out, "f.c")
+        assert d.hunks
+
+    def test_bound_check_adds_if(self, source):
+        out = _apply_with_retries(lambda t, r: apply_security_pattern(t, 1, r), source)
+        added = [l for h in diff_texts(source, out, "f.c").hunks for l in h.added]
+        assert any("if (" in l for l in added)
+        assert any("return" in l for l in added)
+
+    def test_null_check_mentions_null_or_negation(self, source):
+        out = _apply_with_retries(lambda t, r: apply_security_pattern(t, 2, r), source)
+        added = " ".join(l for h in diff_texts(source, out, "f.c").hunks for l in h.added)
+        assert "NULL" in added or "!" in added
+
+    def test_move_preserves_line_multiset(self, source):
+        out = _apply_with_retries(lambda t, r: apply_security_pattern(t, 10, r), source)
+        d = diff_texts(source, out, "f.c")
+        removed = sorted(l.strip() for h in d.hunks for l in h.removed)
+        added = sorted(l.strip() for h in d.hunks for l in h.added)
+        assert removed == added
+
+    def test_redesign_is_large(self, source):
+        out = _apply_with_retries(lambda t, r: apply_security_pattern(t, 11, r), source)
+        d = diff_texts(source, out, "f.c")
+        total = sum(len(h.added) + len(h.removed) for h in d.hunks)
+        assert total >= 6
+
+    def test_jump_adds_goto(self, source):
+        out = _apply_with_retries(lambda t, r: apply_security_pattern(t, 9, r), source)
+        added = " ".join(l for h in diff_texts(source, out, "f.c").hunks for l in h.added)
+        assert "goto" in added
+
+    def test_inapplicable_returns_none(self):
+        # A file with no functions offers no anchors.
+        assert apply_security_pattern("int x;\n", 1, np.random.default_rng(0)) is None
+
+
+class TestNonsecGenerators:
+    @pytest.mark.parametrize("kind", sorted(NONSEC_GENERATORS))
+    def test_kind_produces_valid_change(self, source, kind):
+        out = _apply_with_retries(lambda t, r: apply_nonsec_pattern(t, kind, r), source)
+        assert out is not None, f"kind {kind} never applied"
+        parse_translation_unit(out)
+        assert diff_texts(source, out, "f.c").hunks
+
+    def test_feature_adds_function(self, source):
+        out = _apply_with_retries(lambda t, r: apply_nonsec_pattern(t, "feature", r), source)
+        before = len(parse_translation_unit(source).functions)
+        after = len(parse_translation_unit(out).functions)
+        assert after == before + 1
+
+    def test_refactor_renames_consistently(self, source):
+        out = _apply_with_retries(lambda t, r: apply_nonsec_pattern(t, "refactor", r), source)
+        d = diff_texts(source, out, "f.c")
+        # Rename only: equal number of added and removed lines.
+        assert sum(len(h.added) for h in d.hunks) == sum(len(h.removed) for h in d.hunks)
+
+    def test_cleanup_removes_a_line(self, source):
+        out = _apply_with_retries(lambda t, r: apply_nonsec_pattern(t, "cleanup", r), source)
+        assert len(out.splitlines()) == len(source.splitlines()) - 1
+
+    def test_logging_adds_print(self, source):
+        out = _apply_with_retries(lambda t, r: apply_nonsec_pattern(t, "logging", r), source)
+        added = " ".join(l for h in diff_texts(source, out, "f.c").hunks for l in h.added)
+        assert any(call in added for call in ("printf", "pr_debug", "log_info", "fprintf"))
+
+    def test_defensive_looks_like_security(self, source):
+        """The defensive generator must produce security-lookalike guards."""
+        out = _apply_with_retries(lambda t, r: apply_nonsec_pattern(t, "defensive", r), source)
+        added = [l for h in diff_texts(source, out, "f.c").hunks for l in h.added]
+        assert any("if (" in l for l in added)
+        assert any("return" in l for l in added)

@@ -1,0 +1,105 @@
+"""Tests for the Myers diff algorithm."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffing import EditOp, diff_sequences, lcs_length
+
+
+def reconstruct_new(old, script):
+    """Apply an edit script to rebuild the new sequence."""
+    out = []
+    for e in script:
+        if e.op is EditOp.EQUAL:
+            out.append(old[e.old_index])
+        elif e.op is EditOp.INSERT:
+            out.append(("INS", e.new_index))
+    return out
+
+
+class TestBasics:
+    def test_identical(self):
+        script = diff_sequences(["a", "b"], ["a", "b"])
+        assert all(e.op is EditOp.EQUAL for e in script)
+
+    def test_empty_both(self):
+        assert diff_sequences([], []) == []
+
+    def test_all_insert(self):
+        script = diff_sequences([], ["a", "b"])
+        assert [e.op for e in script] == [EditOp.INSERT, EditOp.INSERT]
+
+    def test_all_delete(self):
+        script = diff_sequences(["a", "b"], [])
+        assert [e.op for e in script] == [EditOp.DELETE, EditOp.DELETE]
+
+    def test_single_substitution(self):
+        script = diff_sequences(["a", "b", "c"], ["a", "X", "c"])
+        ops = [e.op for e in script]
+        assert ops.count(EditOp.DELETE) == 1
+        assert ops.count(EditOp.INSERT) == 1
+        assert ops.count(EditOp.EQUAL) == 2
+
+    def test_classic_myers_example(self):
+        # ABCABBA -> CBABAC needs edit distance 5.
+        script = diff_sequences(list("ABCABBA"), list("CBABAC"))
+        d = sum(1 for e in script if e.op is not EditOp.EQUAL)
+        assert d == 5
+
+    def test_indices_are_monotone(self):
+        script = diff_sequences(list("kitten"), list("sitting"))
+        old_idx = [e.old_index for e in script if e.old_index >= 0]
+        new_idx = [e.new_index for e in script if e.new_index >= 0]
+        assert old_idx == sorted(old_idx)
+        assert new_idx == sorted(new_idx)
+
+
+class TestLcs:
+    def test_lcs_simple(self):
+        assert lcs_length(list("ABCBDAB"), list("BDCABA")) == 4
+
+    def test_lcs_disjoint(self):
+        assert lcs_length(list("abc"), list("xyz")) == 0
+
+    def test_lcs_identical(self):
+        assert lcs_length([1, 2, 3], [1, 2, 3]) == 3
+
+
+lines = st.lists(st.sampled_from(["a", "b", "c", "d", "e"]), max_size=30)
+
+
+class TestProperties:
+    @given(old=lines, new=lines)
+    @settings(max_examples=100, deadline=None)
+    def test_script_covers_both_sequences(self, old, new):
+        script = diff_sequences(old, new)
+        old_seen = [e.old_index for e in script if e.op is not EditOp.INSERT]
+        new_seen = [e.new_index for e in script if e.op is not EditOp.DELETE]
+        assert old_seen == list(range(len(old)))
+        assert new_seen == list(range(len(new)))
+
+    @given(old=lines, new=lines)
+    @settings(max_examples=100, deadline=None)
+    def test_equal_records_match(self, old, new):
+        for e in diff_sequences(old, new):
+            if e.op is EditOp.EQUAL:
+                assert old[e.old_index] == new[e.new_index]
+
+    @given(old=lines, new=lines)
+    @settings(max_examples=100, deadline=None)
+    def test_edit_count_bounded(self, old, new):
+        script = diff_sequences(old, new)
+        edits = sum(1 for e in script if e.op is not EditOp.EQUAL)
+        assert edits <= len(old) + len(new)
+        # Must be at least the length difference.
+        assert edits >= abs(len(old) - len(new))
+
+    @given(seq=lines)
+    @settings(max_examples=50, deadline=None)
+    def test_self_diff_is_all_equal(self, seq):
+        assert all(e.op is EditOp.EQUAL for e in diff_sequences(seq, seq))
+
+    @given(old=lines, new=lines)
+    @settings(max_examples=100, deadline=None)
+    def test_lcs_symmetry(self, old, new):
+        assert lcs_length(old, new) == lcs_length(new, old)

@@ -1,0 +1,133 @@
+"""Tests for hunk assembly and diff generation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffing import diff_lines, diff_texts
+from repro.patch import apply_file_diff, parse_file_diffs, render_file_diff
+
+C_FILE = """#include <stdio.h>
+
+static int helper(int x)
+{
+    int y = x + 1;
+    return y;
+}
+
+int main(void)
+{
+    int total = 0;
+    total += helper(1);
+    total += helper(2);
+    total += helper(3);
+    total += helper(4);
+    total += helper(5);
+    return total;
+}
+"""
+
+
+class TestDiffTexts:
+    def test_identical_yields_no_hunks(self):
+        assert diff_texts(C_FILE, C_FILE, "a.c").hunks == ()
+
+    def test_single_change_one_hunk(self):
+        new = C_FILE.replace("int y = x + 1;", "int y = x + 2;")
+        d = diff_texts(C_FILE, new, "a.c")
+        assert len(d.hunks) == 1
+        assert d.hunks[0].removed == ("    int y = x + 1;",)
+        assert d.hunks[0].added == ("    int y = x + 2;",)
+
+    def test_context_lines_default_three(self):
+        new = C_FILE.replace("total += helper(3);", "total += helper(30);")
+        hunk = diff_texts(C_FILE, new, "a.c").hunks[0]
+        assert len(hunk.context) == 6  # 3 above + 3 below
+
+    def test_nearby_changes_merge_into_one_hunk(self):
+        new = C_FILE.replace("helper(2)", "helper(20)").replace("helper(4)", "helper(40)")
+        d = diff_texts(C_FILE, new, "a.c")
+        assert len(d.hunks) == 1
+
+    def test_distant_changes_stay_separate(self):
+        new = C_FILE.replace("int y = x + 1;", "int y = x + 9;").replace(
+            "return total;", "return total + 1;"
+        )
+        d = diff_texts(C_FILE, new, "a.c")
+        assert len(d.hunks) == 2
+
+    def test_section_heading_found(self):
+        new = C_FILE.replace("total += helper(3);", "total += helper(33);")
+        hunk = diff_texts(C_FILE, new, "a.c").hunks[0]
+        assert "main" in hunk.section
+
+    def test_new_file(self):
+        d = diff_texts("", "a\nb\n", "new.c")
+        assert d.is_new_file
+        assert d.hunks[0].old_start == 0
+        assert d.hunks[0].old_count == 0
+
+    def test_deleted_file(self):
+        d = diff_texts("a\nb\n", "", "gone.c")
+        assert d.is_deleted_file
+        assert d.hunks[0].new_count == 0
+
+    def test_rename_paths(self):
+        d = diff_texts("x\n", "y\n", "old.c", new_path="new.c")
+        assert d.old_path == "old.c"
+        assert d.new_path == "new.c"
+
+    def test_renders_and_reparses(self):
+        new = C_FILE.replace("helper(2)", "helper(99)")
+        d = diff_texts(C_FILE, new, "a.c")
+        assert parse_file_diffs(render_file_diff(d))[0] == d
+
+
+class TestZeroContext:
+    def test_zero_context_pure_insertion(self):
+        hunks = diff_lines(["a", "b", "c"], ["a", "b", "x", "c"], context=0)
+        assert len(hunks) == 1
+        assert hunks[0].old_count == 0
+        assert hunks[0].added == ("x",)
+
+    def test_zero_context_pure_removal(self):
+        hunks = diff_lines(["a", "b", "c"], ["a", "c"], context=0)
+        assert hunks[0].new_count == 0
+        assert hunks[0].removed == ("b",)
+
+
+text_lines = st.lists(
+    st.text(alphabet="abcxyz ();=", min_size=0, max_size=12), min_size=0, max_size=25
+)
+
+
+class TestRoundTripProperty:
+    @given(old=text_lines, new=text_lines)
+    @settings(max_examples=150, deadline=None)
+    def test_diff_apply_round_trip(self, old, new):
+        old_text = "\n".join(old) + ("\n" if old else "")
+        new_text = "\n".join(new) + ("\n" if new else "")
+        d = diff_texts(old_text, new_text, "f.c")
+        if old_text == new_text:
+            assert d.hunks == ()
+            return
+        assert apply_file_diff(old_text, d) == new_text
+
+    @given(old=text_lines, new=text_lines, ctx=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_any_context(self, old, new, ctx):
+        hunks = diff_lines(old, new, context=ctx)
+        from repro.patch.model import FileDiff
+
+        d = FileDiff("f.c" if old else "", "f.c" if new else "", hunks)
+        old_text = "\n".join(old) + ("\n" if old else "")
+        new_text = "\n".join(new) + ("\n" if new else "")
+        if old == new:
+            assert hunks == ()
+        else:
+            assert apply_file_diff(old_text, d) == new_text
+
+    @given(old=text_lines, new=text_lines)
+    @settings(max_examples=100, deadline=None)
+    def test_hunk_counts_validate(self, old, new):
+        for hunk in diff_lines(old, new):
+            hunk.validate()

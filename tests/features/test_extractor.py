@@ -1,0 +1,162 @@
+"""Tests for the 60-dimensional feature extractor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import (
+    FEATURE_COUNT,
+    FEATURE_NAMES,
+    RepoContext,
+    extract_feature_matrix,
+    extract_features,
+    feature_index,
+)
+from repro.patch import parse_patch
+
+
+def f(vec, name):
+    return vec[feature_index(name)]
+
+
+class TestVectorLayout:
+    def test_sixty_features(self):
+        assert FEATURE_COUNT == 60
+        assert len(FEATURE_NAMES) == 60
+
+    def test_names_unique(self):
+        assert len(set(FEATURE_NAMES)) == 60
+
+    def test_feature_index_round_trip(self):
+        for i, name in enumerate(FEATURE_NAMES):
+            assert feature_index(name) == i
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            feature_index("bogus")
+
+
+class TestListing1:
+    """Ground-truth features of the paper's own example patch."""
+
+    @pytest.fixture()
+    def vec(self, listing_1):
+        return extract_features(parse_patch(listing_1))
+
+    def test_basic_counts(self, vec):
+        assert f(vec, "changed_lines") == 2
+        assert f(vec, "hunks") == 1
+        assert f(vec, "added_lines") == 1
+        assert f(vec, "removed_lines") == 1
+        assert f(vec, "net_lines") == 0
+
+    def test_if_statements(self, vec):
+        assert f(vec, "added_if_statements") == 1
+        assert f(vec, "removed_if_statements") == 1
+        assert f(vec, "total_if_statements") == 2
+        assert f(vec, "net_if_statements") == 0
+
+    def test_operators(self, vec):
+        assert f(vec, "added_logical_operators") == 1  # the new &&
+        assert f(vec, "net_logical_operators") == 1
+        assert f(vec, "added_relational_operators") == 1  # the new >
+        assert f(vec, "added_bitwise_operators") == 1  # & in both sides
+        assert f(vec, "removed_bitwise_operators") == 1
+
+    def test_functions(self, vec):
+        assert f(vec, "total_modified_functions") == 1
+        assert f(vec, "affected_files") == 1
+        assert f(vec, "affected_functions") == 1
+
+    def test_levenshtein_features(self, vec):
+        # "  if (byte[i] & 0x40)" -> "  if (byte[i] & 0x40 && i > 0)" adds
+        # " && i > 0" = 9 chars.
+        assert f(vec, "lev_mean_raw") == 9
+        assert f(vec, "lev_min_raw") == f(vec, "lev_max_raw") == 9
+        # Abstractly: && VAR > NUM = 4 extra tokens.
+        assert f(vec, "lev_mean_abs") == 4
+
+    def test_no_same_hunks(self, vec):
+        assert f(vec, "same_hunks_raw") == 0
+        assert f(vec, "same_hunks_abs") == 0
+
+
+class TestQuadConsistency:
+    def test_total_and_net_identities(self, tiny_world):
+        shas = tiny_world.all_shas()[:40]
+        quads = [
+            "lines", "characters", "if_statements", "loops", "function_calls",
+            "arithmetic_operators", "relational_operators", "logical_operators",
+            "bitwise_operators", "memory_operators", "variables",
+        ]
+        for sha in shas:
+            vec = extract_features(tiny_world.patch_for(sha))
+            for prefix in quads:
+                added = f(vec, f"added_{prefix}")
+                removed = f(vec, f"removed_{prefix}")
+                assert f(vec, f"total_{prefix}") == added + removed
+                assert f(vec, f"net_{prefix}") == added - removed
+
+
+class TestMoveDetection:
+    MOVE_PATCH = """commit 3333333333333333333333333333333333333333
+Author: A <a@b.c>
+Date:   x
+
+    move stmt
+
+diff --git a/a.c b/a.c
+--- a/a.c
++++ b/a.c
+@@ -1,6 +1,6 @@
+ int f(void) {
++    x = compute();
+     prepare();
+-    x = compute();
+     finish();
+     return x;
+ }
+"""
+
+    def test_same_hunk_detected(self):
+        vec = extract_features(parse_patch(self.MOVE_PATCH))
+        assert f(vec, "same_hunks_raw") == 1
+        assert f(vec, "same_hunks_abs") == 1
+
+
+class TestRepoContext:
+    def test_percentages_with_context(self, listing_1):
+        patch = parse_patch(listing_1)
+        vec = extract_features(patch, RepoContext(total_files=50, total_functions=200))
+        assert f(vec, "affected_files_pct") == pytest.approx(1 / 50)
+        assert f(vec, "affected_functions_pct") == pytest.approx(1 / 200)
+
+    def test_fallback_without_context(self, listing_1):
+        vec = extract_features(parse_patch(listing_1))
+        assert f(vec, "affected_files_pct") == 1.0
+
+
+class TestMatrix:
+    def test_matrix_shape(self, tiny_world):
+        patches = tiny_world.patches_for(tiny_world.all_shas()[:10])
+        m = extract_feature_matrix(patches)
+        assert m.shape == (10, 60)
+        assert m.dtype == np.float64
+
+    def test_empty_matrix(self):
+        assert extract_feature_matrix([]).shape == (0, 60)
+
+    def test_deterministic(self, listing_1):
+        p = parse_patch(listing_1)
+        assert np.array_equal(extract_features(p), extract_features(p))
+
+
+class TestEmptyPatch:
+    def test_empty_patch_zero_vector_mostly(self):
+        from repro.patch import Patch
+
+        vec = extract_features(Patch("0" * 40, "msg", ()))
+        assert f(vec, "changed_lines") == 0
+        assert f(vec, "hunks") == 0
+        assert f(vec, "affected_files") == 0

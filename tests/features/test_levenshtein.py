@@ -1,0 +1,72 @@
+"""Tests for Levenshtein distance."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import levenshtein, normalized_levenshtein
+
+words = st.text(alphabet="abcd", max_size=15)
+
+
+class TestKnownDistances:
+    def test_kitten_sitting(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty_vs_word(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_both_empty(self):
+        assert levenshtein("", "") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein("cat", "bat") == 1
+
+    def test_token_sequences(self):
+        a = ["if", "(", "VAR", ")"]
+        b = ["if", "(", "VAR", "&&", "VAR", ")"]
+        assert levenshtein(a, b) == 2
+
+    def test_truncation_bound(self):
+        # Distances are capped by the truncation length.
+        assert levenshtein("a" * 5000, "b" * 5000, max_len=100) == 100
+
+
+class TestNormalized:
+    def test_range(self):
+        assert normalized_levenshtein("abc", "xyz") == 1.0
+        assert normalized_levenshtein("abc", "abc") == 0.0
+
+    def test_empty(self):
+        assert normalized_levenshtein("", "") == 0.0
+
+
+class TestProperties:
+    @given(a=words, b=words)
+    @settings(max_examples=200, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(a=words, b=words)
+    @settings(max_examples=200, deadline=None)
+    def test_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(a=words)
+    @settings(max_examples=100, deadline=None)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(a=words, b=words, c=words)
+    @settings(max_examples=150, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(a=words, b=words)
+    @settings(max_examples=100, deadline=None)
+    def test_zero_iff_equal(self, a, b):
+        assert (levenshtein(a, b) == 0) == (a == b)

@@ -1,0 +1,86 @@
+"""Tests for max-abs weighting and the weighted distance matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import FeatureError
+from repro.features import MaxAbsWeighter, weighted_distance_matrix
+
+
+class TestMaxAbsWeighter:
+    def test_weights_formula(self):
+        m = np.array([[2.0, -4.0], [1.0, 2.0]])
+        w = MaxAbsWeighter().fit(m)
+        assert np.allclose(w.weights, [0.5, 0.25])
+
+    def test_transform_in_range(self):
+        m = np.array([[10.0, -3.0], [-20.0, 1.0], [5.0, 0.0]])
+        out = MaxAbsWeighter().fit_transform(m)
+        assert np.all(np.abs(out) <= 1.0 + 1e-12)
+
+    def test_sign_preserved(self):
+        m = np.array([[5.0, -2.0], [-5.0, 2.0]])
+        out = MaxAbsWeighter().fit_transform(m)
+        assert np.all(np.sign(out) == np.sign(m))
+
+    def test_constant_zero_column_weight_zero(self):
+        m = np.array([[0.0, 1.0], [0.0, 2.0]])
+        w = MaxAbsWeighter().fit(m)
+        assert w.weights[0] == 0.0
+
+    def test_fit_over_union(self):
+        a = np.array([[1.0]])
+        b = np.array([[4.0]])
+        w = MaxAbsWeighter().fit(a, b)
+        assert w.weights[0] == 0.25
+
+    def test_unfitted_raises(self):
+        with pytest.raises(FeatureError):
+            MaxAbsWeighter().transform(np.ones((2, 2)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(FeatureError):
+            MaxAbsWeighter().fit(np.zeros((0, 3)))
+
+    def test_shape_mismatch_raises(self):
+        w = MaxAbsWeighter().fit(np.ones((2, 3)))
+        with pytest.raises(FeatureError):
+            w.transform(np.ones((2, 4)))
+
+
+class TestWeightedDistanceMatrix:
+    def test_matches_naive_computation(self):
+        rng = np.random.default_rng(0)
+        sec = rng.uniform(-5, 5, size=(4, 6))
+        wild = rng.uniform(-5, 5, size=(7, 6))
+        d = weighted_distance_matrix(sec, wild)
+        w = MaxAbsWeighter().fit(sec, wild)
+        s, x = w.transform(sec), w.transform(wild)
+        naive = np.array([[np.linalg.norm(s[i] - x[j]) for j in range(7)] for i in range(4)])
+        assert np.allclose(d, naive, atol=1e-9)
+
+    def test_shape(self):
+        d = weighted_distance_matrix(np.ones((3, 5)), np.ones((8, 5)))
+        assert d.shape == (3, 8)
+
+    def test_identical_rows_zero_distance(self):
+        sec = np.array([[1.0, 2.0, 3.0]])
+        wild = np.array([[1.0, 2.0, 3.0], [9.0, 9.0, 9.0]])
+        d = weighted_distance_matrix(sec, wild)
+        assert d[0, 0] == pytest.approx(0.0, abs=1e-9)
+        assert d[0, 1] > 0
+
+    @given(
+        sec=arrays(np.float64, (3, 4), elements=st.floats(-100, 100)),
+        wild=arrays(np.float64, (5, 4), elements=st.floats(-100, 100)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative(self, sec, wild):
+        if np.all(np.abs(sec) < 1e-300) and np.all(np.abs(wild) < 1e-300):
+            return  # all columns below the subnormal floor carry no signal
+        d = weighted_distance_matrix(sec, wild)
+        assert np.all(d >= 0)
+        assert np.all(np.isfinite(d))

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, args: list[str], tmp_path) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = run_example("quickstart.py", [str(tmp_path / "db.jsonl")], tmp_path)
+        assert "PatchDB summary" in out
+        assert "reload check: OK" in out
+        assert (tmp_path / "db.jsonl").exists()
+
+    def test_augment_from_the_wild(self, tmp_path):
+        out = run_example("augment_from_the_wild.py", ["2", "200"], tmp_path)
+        assert "closest links" in out
+        assert "expert effort" in out
+        assert "effort reduced" in out
+
+    def test_synthesize_patches(self, tmp_path):
+        out = run_example("synthesize_patches.py", ["2"], tmp_path)
+        assert "synthetic via variant" in out
+        assert "_SYS_" in out
+
+    def test_classify_patches(self, tmp_path):
+        out = run_example("classify_patches.py", [], tmp_path)
+        assert "Table VI analogue" in out
+        assert "P(security)" in out
+        assert "pattern type" in out

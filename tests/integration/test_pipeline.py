@@ -1,0 +1,72 @@
+"""End-to-end integration tests of the full PatchDB construction pipeline."""
+
+import pytest
+
+from repro.analysis import build_patchdb
+from repro.core import PatchDB
+from repro.nvd import NvdCrawler, build_nvd
+
+
+@pytest.fixture(scope="module")
+def patchdb(experiment_world):
+    return build_patchdb(experiment_world, synthesize=True)
+
+
+class TestFullPipeline:
+    def test_all_three_components_present(self, patchdb):
+        summary = patchdb.summary()
+        assert summary["nvd_security"] > 0
+        assert summary["wild_security"] > 0
+        assert summary["synthetic_security"] > 0
+
+    def test_wild_records_verified(self, patchdb, experiment_world):
+        for rec in patchdb.records(source="wild", is_security=True):
+            assert experiment_world.world.label(rec.patch.sha).is_security
+
+    def test_nonsecurity_dataset_collected(self, patchdb):
+        assert len(patchdb.records(source="wild", is_security=False)) > 0
+
+    def test_nvd_records_carry_cves(self, patchdb):
+        nvd_records = patchdb.records(source="nvd")
+        with_cve = [r for r in nvd_records if r.cve_id]
+        assert len(with_cve) >= 0.9 * len(nvd_records)
+
+    def test_security_patches_categorized(self, patchdb):
+        for rec in patchdb.records(is_security=True):
+            if rec.source != "synthetic":
+                assert rec.pattern_type in range(1, 13)
+
+    def test_synthetic_patches_reference_scaffolding(self, patchdb):
+        for rec in patchdb.records(source="synthetic")[:20]:
+            changed = " ".join(rec.patch.added_lines() + rec.patch.removed_lines())
+            assert "_SYS_" in changed
+
+    def test_persistence_round_trip(self, patchdb, tmp_path):
+        path = tmp_path / "patchdb.jsonl"
+        patchdb.save_jsonl(path)
+        loaded = PatchDB.load_jsonl(path)
+        assert loaded.summary() == patchdb.summary()
+
+    def test_silent_patches_present(self, patchdb, experiment_world):
+        """The paper's headline: wild security patches are not in any CVE."""
+        world = experiment_world.world
+        wild_sec = patchdb.records(source="wild", is_security=True)
+        assert all(world.label(r.patch.sha).cve_id is None for r in wild_sec)
+
+
+class TestCrawlerToAugmentationConsistency:
+    def test_crawler_output_feeds_augmentation(self, experiment_world):
+        nvd = build_nvd(experiment_world.world)
+        crawl = NvdCrawler(experiment_world.world).crawl(nvd)
+        # Every crawled sha is usable by the feature cache.
+        for patch in crawl.security_patches[:10]:
+            vec = experiment_world.cache.vector(patch.sha)
+            assert vec.shape == (60,)
+
+    def test_feature_cache_reused_across_experiments(self, experiment_world):
+        before = len(experiment_world.cache)
+        experiment_world.cache.matrix(experiment_world.nvd_seed_shas)
+        after = len(experiment_world.cache)
+        experiment_world.cache.matrix(experiment_world.nvd_seed_shas)
+        assert len(experiment_world.cache) == after
+        assert after >= before

@@ -1,0 +1,48 @@
+"""Tests for token abstraction (features 49-56 substrate)."""
+
+from repro.lang import abstract_line, abstract_token_texts
+
+
+class TestAbstraction:
+    def test_variable_becomes_var(self):
+        assert abstract_token_texts("x = y;") == ["VAR", "=", "VAR", ";"]
+
+    def test_call_becomes_func(self):
+        assert abstract_token_texts("foo(x)") == ["FUNC", "(", "VAR", ")"]
+
+    def test_literals(self):
+        assert abstract_token_texts('42 "s" \'c\'') == ["NUM", "STR", "CHR"]
+
+    def test_keywords_preserved(self):
+        out = abstract_token_texts("if (x) return 0;")
+        assert out == ["if", "(", "VAR", ")", "return", "NUM", ";"]
+
+    def test_operators_preserved(self):
+        out = abstract_token_texts("a && b || !c")
+        assert out == ["VAR", "&&", "VAR", "||", "!", "VAR"]
+
+    def test_paper_listing_line(self):
+        assert abstract_line("if (byte[i] & 0x40 && i > 0)") == (
+            "if ( VAR [ VAR ] & NUM && VAR > NUM )"
+        )
+
+    def test_renaming_invariance(self):
+        a = abstract_line("if (count > limit) return -1;")
+        b = abstract_line("if (size > maxlen) return -2;")
+        assert a == b
+
+    def test_call_vs_variable_distinguished(self):
+        a = abstract_token_texts("free(p);")
+        b = abstract_token_texts("freed = p;")
+        assert a[0] == "FUNC"
+        assert b[0] == "VAR"
+
+    def test_preprocessor_collapsed(self):
+        assert abstract_token_texts("#include <x.h>\ny;")[0] == "#PP"
+
+    def test_comments_dropped(self):
+        assert abstract_token_texts("x; // comment") == ["VAR", ";"]
+
+    def test_empty(self):
+        assert abstract_token_texts("") == []
+        assert abstract_line("") == ""

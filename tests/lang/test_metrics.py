@@ -1,0 +1,138 @@
+"""Tests for the syntactic fragment counters (Table I substrate)."""
+
+from repro.lang import count_fragment, count_lines
+
+
+class TestIfCounting:
+    def test_single_if(self):
+        assert count_fragment("if (x) y = 1;").if_statements == 1
+
+    def test_else_if_counts_once_per_if(self):
+        assert count_fragment("if (a) x; else if (b) y;").if_statements == 2
+
+    def test_no_if(self):
+        assert count_fragment("x = y + 1;").if_statements == 0
+
+
+class TestLoopCounting:
+    def test_for(self):
+        assert count_fragment("for (i = 0; i < n; i++) x++;").loops == 1
+
+    def test_while(self):
+        assert count_fragment("while (x) x--;").loops == 1
+
+    def test_do_while_counts_once(self):
+        counts = count_fragment("do { x--; } while (x);")
+        assert counts.loops == 1
+
+    def test_separate_while_after_block_still_skipped(self):
+        # Known approximation: 'while' directly after '}' is treated as a
+        # do-while tail.  Document the behaviour.
+        counts = count_fragment("if (a) { b(); } while (x) x--;")
+        assert counts.loops == 0
+
+
+class TestCallCounting:
+    def test_simple_call(self):
+        counts = count_fragment("foo(a, b);")
+        assert counts.function_calls == 1
+        assert "foo" in counts.functions
+
+    def test_control_keywords_not_calls(self):
+        counts = count_fragment("if (x) { while (y) { f(z); } }")
+        assert counts.function_calls == 1
+
+    def test_sizeof_not_call(self):
+        assert count_fragment("n = sizeof(x);").function_calls == 0
+
+    def test_distinct_functions(self):
+        counts = count_fragment("a(); b(); a();")
+        assert counts.function_calls == 3
+        assert counts.function_count == 2
+
+
+class TestOperatorCounting:
+    def test_arithmetic(self):
+        counts = count_fragment("x = a + b - c * d / e % f;")
+        # '*' after an identifier counts as multiplication.
+        assert counts.arithmetic_operators == 5
+
+    def test_relational(self):
+        assert count_fragment("a < b; c >= d; e == f; g != h;").relational_operators == 4
+
+    def test_logical(self):
+        assert count_fragment("a && b || !c").logical_operators == 3
+
+    def test_bitwise(self):
+        counts = count_fragment("x = a | b ^ c; y = d << 2; z = e >> 1; w = ~f;")
+        assert counts.bitwise_operators == 5
+
+    def test_binary_and_vs_address_of(self):
+        assert count_fragment("x = a & b;").bitwise_operators == 1
+        assert count_fragment("f(&a);").bitwise_operators == 0
+
+    def test_deref_vs_multiply(self):
+        assert count_fragment("x = a * b;").arithmetic_operators == 1
+        assert count_fragment("x = *p;").arithmetic_operators == 0
+
+    def test_increment_decrement(self):
+        assert count_fragment("i++; j--;").arithmetic_operators == 2
+
+
+class TestMemoryCounting:
+    def test_malloc_free(self):
+        counts = count_fragment("p = malloc(n); free(p);")
+        assert counts.memory_operators == 2
+
+    def test_mem_functions(self):
+        counts = count_fragment("memcpy(d, s, n); memset(d, 0, n);")
+        assert counts.memory_operators == 2
+
+    def test_new_delete(self):
+        counts = count_fragment("p = new Foo(); delete p;")
+        assert counts.memory_operators == 2
+
+    def test_kernel_allocators(self):
+        assert count_fragment("p = kmalloc(n, GFP_KERNEL); kfree(p);").memory_operators == 2
+
+
+class TestVariableCounting:
+    def test_distinct_variables(self):
+        counts = count_fragment("x = y + x;")
+        assert counts.variables == {"x", "y"}
+
+    def test_called_names_not_variables(self):
+        counts = count_fragment("foo(x);")
+        assert counts.variables == {"x"}
+
+    def test_memory_functions_not_variables(self):
+        assert "malloc" not in count_fragment("p = malloc(4);").variables
+
+
+class TestJumps:
+    def test_jump_keywords(self):
+        counts = count_fragment("goto out; break; continue; return 0;")
+        assert counts.jumps == 4
+
+
+class TestAggregation:
+    def test_count_lines_joins(self):
+        # A condition split across lines still counts as one if.
+        counts = count_lines(["if (a &&", "    b) {", "}"])
+        assert counts.if_statements == 1
+        assert counts.logical_operators == 1
+
+    def test_merge(self):
+        a = count_fragment("if (x) foo();")
+        b = count_fragment("while (y) bar();")
+        merged = a.merge(b)
+        assert merged.if_statements == 1
+        assert merged.loops == 1
+        assert merged.function_calls == 2
+        assert merged.functions == {"foo", "bar"}
+
+    def test_empty_fragment(self):
+        counts = count_fragment("")
+        assert counts.if_statements == 0
+        assert counts.variable_count == 0
+        assert counts.tokens == 0

@@ -1,0 +1,197 @@
+"""Tests shared across all feature-vector classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml import (
+    DecisionTreeClassifier,
+    DiscretizedNaiveBayes,
+    GaussianNaiveBayes,
+    KNeighborsClassifier,
+    LinearSVM,
+    LogisticRegression,
+    REPTreeClassifier,
+    RandomForestClassifier,
+    SGDClassifier,
+    SMOClassifier,
+    TreeAugmentedNaiveBayes,
+    VotedPerceptron,
+    accuracy,
+    weka_ensemble,
+)
+
+ALL_CLASSIFIERS = [
+    lambda: DecisionTreeClassifier(max_depth=8, seed=0),
+    lambda: RandomForestClassifier(n_estimators=15, max_depth=8, seed=0),
+    lambda: REPTreeClassifier(seed=0),
+    lambda: LogisticRegression(),
+    lambda: SGDClassifier(seed=0),
+    lambda: LinearSVM(seed=0),
+    lambda: SMOClassifier(seed=0, max_iter=10),
+    lambda: GaussianNaiveBayes(),
+    lambda: DiscretizedNaiveBayes(),
+    lambda: TreeAugmentedNaiveBayes(),
+    lambda: VotedPerceptron(seed=0),
+    lambda: KNeighborsClassifier(k=5),
+]
+
+IDS = [
+    "tree", "forest", "reptree", "logistic", "sgd", "svm", "smo",
+    "gnb", "dnb", "tan", "perceptron", "knn",
+]
+
+
+@pytest.fixture(scope="module")
+def separable():
+    rng = np.random.default_rng(7)
+    n, d = 400, 12
+    X = rng.standard_normal((n, d))
+    w = rng.standard_normal(d)
+    y = (X @ w > 0).astype(np.int64)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def noisy():
+    rng = np.random.default_rng(8)
+    n, d = 500, 10
+    X = rng.standard_normal((n, d))
+    w = rng.standard_normal(d)
+    y = ((X @ w + rng.standard_normal(n)) > 0).astype(np.int64)
+    return X, y
+
+
+@pytest.mark.parametrize("make", ALL_CLASSIFIERS, ids=IDS)
+class TestProtocol:
+    def test_learns_separable_data(self, make, separable):
+        X, y = separable
+        clf = make().fit(X[:300], y[:300])
+        acc = accuracy(y[300:], clf.predict(X[300:]))
+        assert acc >= 0.65, f"{type(clf).__name__} only reached {acc:.2f}"
+
+    def test_proba_shape_and_range(self, make, separable):
+        X, y = separable
+        clf = make().fit(X[:100], y[:100])
+        proba = clf.predict_proba(X[100:150])
+        assert proba.shape == (50, 2)
+        assert np.all(proba >= -1e-9) and np.all(proba <= 1 + 1e-9)
+        assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_predict_matches_proba_threshold(self, make, separable):
+        X, y = separable
+        clf = make().fit(X[:100], y[:100])
+        pred = clf.predict(X[100:150])
+        proba = clf.predict_proba(X[100:150])
+        assert np.array_equal(pred, (proba[:, 1] >= 0.5).astype(np.int64))
+
+    def test_unfitted_raises(self, make, separable):
+        X, _ = separable
+        with pytest.raises(NotFittedError):
+            make().predict(X[:5])
+
+    def test_wrong_feature_count_raises(self, make, separable):
+        X, y = separable
+        clf = make().fit(X[:100], y[:100])
+        with pytest.raises(ModelError):
+            clf.predict(np.ones((3, X.shape[1] + 2)))
+
+    def test_nonbinary_labels_raise(self, make, separable):
+        X, _ = separable
+        with pytest.raises(ModelError):
+            make().fit(X[:10], np.arange(10))
+
+    def test_single_class_training(self, make, separable):
+        X, _ = separable
+        clf = make().fit(X[:30], np.zeros(30, dtype=np.int64))
+        pred = clf.predict(X[30:40])
+        assert np.all(pred == 0)
+
+    def test_robust_to_noise(self, make, noisy):
+        X, y = noisy
+        clf = make().fit(X[:400], y[:400])
+        acc = accuracy(y[400:], clf.predict(X[400:]))
+        assert acc >= 0.55
+
+
+class TestTreeSpecifics:
+    def test_perfect_fit_on_training(self, separable):
+        X, y = separable
+        tree = DecisionTreeClassifier(seed=0).fit(X[:150], y[:150])
+        assert accuracy(y[:150], tree.predict(X[:150])) == 1.0
+
+    def test_max_depth_limits_tree(self, separable):
+        X, y = separable
+        shallow = DecisionTreeClassifier(max_depth=2, seed=0).fit(X, y)
+        assert shallow.root.depth() <= 2
+
+    def test_min_samples_leaf(self, separable):
+        X, y = separable
+        tree = DecisionTreeClassifier(min_samples_leaf=25, seed=0).fit(X, y)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert node.n_samples >= 25
+            else:
+                stack.extend([node.left, node.right])
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier(criterion="bogus")
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_entropy_criterion_works(self, separable):
+        X, y = separable
+        clf = DecisionTreeClassifier(criterion="entropy", max_depth=6, seed=0).fit(X[:200], y[:200])
+        assert accuracy(y[200:], clf.predict(X[200:])) >= 0.6
+
+    def test_constant_features_yield_leaf(self):
+        X = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier(seed=0).fit(X, y)
+        assert tree.root.is_leaf
+        assert tree.root.prob_positive == pytest.approx(0.5)
+
+
+class TestForestSpecifics:
+    def test_more_trees_more_stable(self, noisy):
+        X, y = noisy
+        small = RandomForestClassifier(n_estimators=3, seed=0).fit(X[:400], y[:400])
+        big = RandomForestClassifier(n_estimators=40, seed=0).fit(X[:400], y[:400])
+        acc_small = accuracy(y[400:], small.predict(X[400:]))
+        acc_big = accuracy(y[400:], big.predict(X[400:]))
+        assert acc_big >= acc_small - 0.05
+
+    def test_feature_importances_sum_to_one(self, separable):
+        X, y = separable
+        forest = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+        imp = forest.feature_importances()
+        assert imp.shape == (X.shape[1],)
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_bad_n_estimators(self):
+        with pytest.raises(ModelError):
+            RandomForestClassifier(n_estimators=0)
+
+
+class TestREPTree:
+    def test_pruning_reduces_leaves(self, noisy):
+        X, y = noisy
+        unpruned = DecisionTreeClassifier(seed=0).fit(X, y)
+        pruned = REPTreeClassifier(prune_fraction=0.3, seed=0).fit(X, y)
+        assert pruned.n_leaves <= unpruned.root.count_leaves()
+
+    def test_bad_prune_fraction(self):
+        with pytest.raises(ModelError):
+            REPTreeClassifier(prune_fraction=1.5)
+
+
+class TestEnsemble:
+    def test_weka_ensemble_has_ten(self):
+        assert len(weka_ensemble()) == 10
+
+    def test_ensemble_types_distinct(self):
+        names = [type(c).__name__ for c in weka_ensemble()]
+        assert len(set(names)) == 10

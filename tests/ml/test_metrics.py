@@ -1,0 +1,93 @@
+"""Tests for evaluation metrics and confidence intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.ml import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision,
+    proportion_confidence_interval,
+    recall,
+)
+
+Y_TRUE = np.array([1, 1, 1, 1, 0, 0, 0, 0])
+Y_PRED = np.array([1, 1, 0, 0, 1, 0, 0, 0])
+
+
+class TestConfusion:
+    def test_matrix_values(self):
+        cm = confusion_matrix(Y_TRUE, Y_PRED)
+        assert cm.tolist() == [[3, 1], [2, 2]]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            confusion_matrix(np.array([1, 0]), np.array([1]))
+
+
+class TestScalarMetrics:
+    def test_accuracy(self):
+        assert accuracy(Y_TRUE, Y_PRED) == pytest.approx(5 / 8)
+
+    def test_precision(self):
+        assert precision(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+
+    def test_recall(self):
+        assert recall(Y_TRUE, Y_PRED) == pytest.approx(2 / 4)
+
+    def test_f1(self):
+        p, r = 2 / 3, 0.5
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(2 * p * r / (p + r))
+
+    def test_no_positive_predictions(self):
+        assert precision(np.array([1, 0]), np.array([0, 0])) == 0.0
+
+    def test_no_positives_in_truth(self):
+        assert recall(np.array([0, 0]), np.array([1, 0])) == 0.0
+
+    def test_perfect(self):
+        y = np.array([1, 0, 1])
+        assert precision(y, y) == recall(y, y) == f1_score(y, y) == 1.0
+
+
+class TestReport:
+    def test_report_fields(self):
+        rep = classification_report(Y_TRUE, Y_PRED)
+        assert rep.support_positive == 4
+        assert rep.support_negative == 4
+        assert rep.precision == pytest.approx(2 / 3)
+        assert "precision" in rep.row()
+
+
+class TestConfidenceInterval:
+    def test_known_value(self):
+        # p=0.29, n=1000, 95% -> half-width ~ 1.96 * sqrt(.29*.71/1000) ~ 0.028
+        p, half = proportion_confidence_interval(290, 1000)
+        assert p == pytest.approx(0.29)
+        assert half == pytest.approx(0.0281, abs=0.001)
+
+    def test_paper_table3_brute_force(self):
+        # 8% of 1000 sampled: ±1.7% at 95%, as Table III reports.
+        _, half = proportion_confidence_interval(80, 1000)
+        assert half == pytest.approx(0.017, abs=0.001)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            proportion_confidence_interval(5, 0)
+        with pytest.raises(ModelError):
+            proportion_confidence_interval(11, 10)
+        with pytest.raises(ModelError):
+            proportion_confidence_interval(1, 10, confidence=1.5)
+
+    @given(n=st.integers(1, 2000), frac=st.floats(0, 1))
+    @settings(max_examples=50, deadline=None)
+    def test_half_width_shrinks_with_n(self, n, frac):
+        k = int(n * frac)
+        _, half_small = proportion_confidence_interval(k, n)
+        _, half_big = proportion_confidence_interval(k * 4, n * 4)
+        assert half_big <= half_small + 1e-9

@@ -1,0 +1,136 @@
+"""Tests for the token vocabulary and the BPTT RNN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml import RNNClassifier, Vocabulary, accuracy, encode_batch, patch_token_sequence
+from repro.patch import parse_patch
+
+
+class TestVocabulary:
+    def test_pad_unk_reserved(self):
+        vocab = Vocabulary(min_count=1).fit([["a", "b"], ["a"]])
+        assert vocab.encode(["a"], 3)[0] >= 2  # 0=PAD, 1=UNK
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary(min_count=2).fit([["rare", "common"], ["common"]])
+        ids = vocab.encode(["rare", "common"], 2)
+        assert ids[0] == 1  # UNK
+        assert ids[1] >= 2
+
+    def test_max_size_cap(self):
+        seqs = [[f"tok{i}"] * 2 for i in range(100)]
+        vocab = Vocabulary(max_size=10, min_count=1).fit(seqs)
+        assert len(vocab) == 10
+
+    def test_encode_pads_and_truncates(self):
+        vocab = Vocabulary(min_count=1).fit([["a", "b", "c"]])
+        padded = vocab.encode(["a"], 4)
+        assert padded.tolist()[1:] == [0, 0, 0]
+        truncated = vocab.encode(["a", "b", "c"], 2)
+        assert len(truncated) == 2
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelError):
+            Vocabulary().encode(["a"], 2)
+
+    def test_encode_batch_mask(self):
+        vocab = Vocabulary(min_count=1).fit([["a", "b"]])
+        ids, mask = encode_batch(vocab, [["a"], ["a", "b"]], 3)
+        assert ids.shape == mask.shape == (2, 3)
+        assert mask[0].tolist() == [1.0, 0.0, 0.0]
+
+    def test_empty_sequence_gets_one_mask_slot(self):
+        vocab = Vocabulary(min_count=1).fit([["a"]])
+        _, mask = encode_batch(vocab, [[]], 3)
+        assert mask[0, 0] == 1.0  # pooling never divides by zero
+
+
+class TestPatchTokenSequence:
+    def test_markers_present(self, listing_1):
+        seq = patch_token_sequence(parse_patch(listing_1))
+        assert "<hunk>" in seq
+        assert "<add>" in seq
+        assert "<del>" in seq
+
+    def test_literals_abstracted(self, listing_1):
+        seq = patch_token_sequence(parse_patch(listing_1))
+        assert "<num>" in seq
+        assert "0x40" not in seq
+
+    def test_context_excluded_by_default(self, listing_1):
+        seq = patch_token_sequence(parse_patch(listing_1))
+        assert "<ctx>" not in seq
+
+    def test_context_included_on_request(self, listing_1):
+        seq = patch_token_sequence(parse_patch(listing_1), include_context=True)
+        assert "<ctx>" in seq
+
+
+def _toy_dataset(n=300, seed=0):
+    """Security-ish = contains an if-guard pattern; other = assignment."""
+    rng = np.random.default_rng(seed)
+    seqs, labels = [], []
+    for i in range(n):
+        noise = [f"tok{int(rng.integers(0, 8))}" for _ in range(int(rng.integers(2, 6)))]
+        if i % 2 == 0:
+            seqs.append(["<add>", "if", "(", "len", ">", "<num>", ")", "return", ";"] + noise)
+            labels.append(1)
+        else:
+            seqs.append(["<add>", "x", "=", "y", "+", "<num>", ";"] + noise)
+            labels.append(0)
+    return seqs, np.array(labels)
+
+
+class TestRNN:
+    def test_learns_toy_problem(self):
+        seqs, y = _toy_dataset()
+        rnn = RNNClassifier(epochs=5, max_len=32, seed=0)
+        rnn.fit(seqs[:200], y[:200])
+        acc = accuracy(y[200:], rnn.predict(seqs[200:]))
+        assert acc >= 0.9
+
+    def test_loss_decreases(self):
+        seqs, y = _toy_dataset()
+        rnn = RNNClassifier(epochs=4, max_len=32, seed=0)
+        rnn.fit(seqs, y)
+        assert rnn.loss_history[-1] < rnn.loss_history[0]
+
+    def test_proba_shape(self):
+        seqs, y = _toy_dataset(n=60)
+        rnn = RNNClassifier(epochs=2, max_len=16, seed=0)
+        rnn.fit(seqs, y)
+        proba = rnn.predict_proba(seqs[:10])
+        assert proba.shape == (10, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RNNClassifier().predict([["a"]])
+
+    def test_empty_input_after_fit(self):
+        seqs, y = _toy_dataset(n=40)
+        rnn = RNNClassifier(epochs=1, max_len=16, seed=0).fit(seqs, y)
+        assert rnn.predict_proba([]).shape == (0, 2)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ModelError):
+            RNNClassifier().fit([["a"]], np.array([1, 0]))
+
+    def test_deterministic_with_seed(self):
+        seqs, y = _toy_dataset(n=80)
+        p1 = RNNClassifier(epochs=2, max_len=16, seed=3).fit(seqs, y).predict_proba(seqs[:5])
+        p2 = RNNClassifier(epochs=2, max_len=16, seed=3).fit(seqs, y).predict_proba(seqs[:5])
+        assert np.allclose(p1, p2)
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ModelError):
+            RNNClassifier(epochs=0)
+
+    def test_fit_predict_patches(self, listing_1, listing_2):
+        patches = [parse_patch(listing_1), parse_patch(listing_2)] * 20
+        y = np.array([1, 0] * 20)
+        rnn = RNNClassifier(epochs=4, max_len=64, seed=0)
+        rnn.fit_patches(patches, y)
+        assert accuracy(y, rnn.predict_patches(patches)) == 1.0

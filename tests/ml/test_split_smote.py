@@ -1,0 +1,123 @@
+"""Tests for data splitting and SMOTE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.ml import bootstrap_indices, smote_oversample, stratified_kfold, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_disjoint_and_complete(self):
+        tr, te = train_test_split(100, 0.2, seed=0)
+        assert len(set(tr) & set(te)) == 0
+        assert sorted(list(tr) + list(te)) == list(range(100))
+
+    def test_fraction_respected(self):
+        tr, te = train_test_split(1000, 0.25, seed=1)
+        assert len(te) == 250
+
+    def test_stratified_preserves_ratio(self):
+        y = np.array([1] * 100 + [0] * 300)
+        tr, te = train_test_split(400, 0.2, y=y, stratify=True, seed=2)
+        assert abs(np.mean(y[te]) - 0.25) < 0.05
+        assert abs(np.mean(y[tr]) - 0.25) < 0.05
+
+    def test_deterministic_with_seed(self):
+        a = train_test_split(50, 0.3, seed=9)
+        b = train_test_split(50, 0.3, seed=9)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_bad_fraction(self):
+        with pytest.raises(ModelError):
+            train_test_split(10, 0.0)
+        with pytest.raises(ModelError):
+            train_test_split(10, 1.0)
+
+    def test_stratify_needs_y(self):
+        with pytest.raises(ModelError):
+            train_test_split(10, 0.5, stratify=True)
+
+
+class TestKFold:
+    def test_folds_partition(self):
+        y = np.array([0, 1] * 25)
+        seen = []
+        for tr, te in stratified_kfold(y, k=5, seed=0):
+            assert len(set(tr) & set(te)) == 0
+            seen.extend(te.tolist())
+        assert sorted(seen) == list(range(50))
+
+    def test_fold_class_balance(self):
+        y = np.array([1] * 20 + [0] * 80)
+        for _, te in stratified_kfold(y, k=4, seed=1):
+            ratio = np.mean(y[te])
+            assert 0.1 <= ratio <= 0.3
+
+    def test_bad_k(self):
+        with pytest.raises(ModelError):
+            list(stratified_kfold(np.array([0, 1]), k=1))
+
+
+class TestBootstrap:
+    def test_size_and_range(self):
+        idx = bootstrap_indices(50, rng=np.random.default_rng(0))
+        assert idx.shape == (50,)
+        assert idx.min() >= 0 and idx.max() < 50
+
+    def test_with_replacement(self):
+        idx = bootstrap_indices(100, size=1000, rng=np.random.default_rng(1))
+        assert len(np.unique(idx)) < 1000
+
+
+class TestSmote:
+    @pytest.fixture()
+    def imbalanced(self):
+        rng = np.random.default_rng(3)
+        X = np.vstack([rng.normal(0, 1, (20, 4)), rng.normal(5, 1, (100, 4))])
+        y = np.array([1] * 20 + [0] * 100)
+        return X, y
+
+    def test_counts(self, imbalanced):
+        X, y = imbalanced
+        Xa, ya = smote_oversample(X, y, 50, seed=0)
+        assert Xa.shape == (170, 4)
+        assert int(ya.sum()) == 70
+
+    def test_synthetic_in_minority_region(self, imbalanced):
+        X, y = imbalanced
+        Xa, ya = smote_oversample(X, y, 200, seed=0)
+        synth = Xa[len(X):]
+        # Minority cluster is at 0; synthetic samples interpolate within it.
+        assert np.all(np.abs(synth.mean(axis=0)) < 2.0)
+
+    def test_interpolation_between_neighbors(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [10.0, 10.0], [11.0, 11.0]])
+        y = np.array([1, 1, 0, 0])
+        Xa, _ = smote_oversample(X, y, 20, k=1, seed=0)
+        synth = Xa[4:]
+        # All synthetic points lie on the segment between the two minority points.
+        assert np.all(synth >= -1e-9) and np.all(synth <= 1 + 1e-9)
+        assert np.allclose(synth[:, 0], synth[:, 1])
+
+    def test_zero_new(self, imbalanced):
+        X, y = imbalanced
+        Xa, ya = smote_oversample(X, y, 0)
+        assert Xa.shape == X.shape
+
+    def test_too_few_minority_raises(self):
+        X = np.ones((3, 2))
+        y = np.array([1, 0, 0])
+        with pytest.raises(ModelError):
+            smote_oversample(X, y, 5)
+
+    @given(n_new=st.integers(1, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_label_invariant(self, n_new):
+        rng = np.random.default_rng(n_new)
+        X = rng.normal(size=(30, 3))
+        y = np.array([1] * 10 + [0] * 20)
+        _, ya = smote_oversample(X, y, n_new, seed=1)
+        assert int(ya.sum()) == 10 + n_new

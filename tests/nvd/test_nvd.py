@@ -1,0 +1,137 @@
+"""Tests for the NVD simulator and crawler."""
+
+import pytest
+
+from repro.errors import NvdError
+from repro.nvd import (
+    COMMIT_URL_RE,
+    CveRecord,
+    NvdConfig,
+    NvdCrawler,
+    Reference,
+    build_nvd,
+)
+
+
+@pytest.fixture(scope="module")
+def nvd(tiny_world):
+    return build_nvd(tiny_world, NvdConfig(seed=3))
+
+
+@pytest.fixture(scope="module")
+def crawler(tiny_world):
+    return NvdCrawler(tiny_world)
+
+
+class TestRecords:
+    def test_reference_patch_tag(self):
+        assert Reference("u", tags=("Patch",)).is_patch
+        assert not Reference("u").is_patch
+
+    def test_record_patch_references(self):
+        rec = CveRecord(
+            "CVE-2020-1234",
+            references=(Reference("a"), Reference("b", tags=("Patch",))),
+        )
+        assert [r.url for r in rec.patch_references()] == ["b"]
+
+    def test_record_year(self):
+        assert CveRecord("CVE-2019-20912").year == 2019
+
+
+class TestDatabase:
+    def test_one_record_per_reported_cve(self, tiny_world, nvd):
+        assert len(nvd) == len(tiny_world.nvd_shas())
+
+    def test_lookup(self, tiny_world, nvd):
+        cve = tiny_world.label(tiny_world.nvd_shas()[0]).cve_id
+        rec = nvd.get(cve)
+        assert rec.cve_id == cve
+        assert cve in nvd
+
+    def test_unknown_cve_raises(self, nvd):
+        with pytest.raises(NvdError):
+            nvd.get("CVE-1900-1")
+
+    def test_records_sorted(self, nvd):
+        ids = [r.cve_id for r in nvd.all_records()]
+        assert ids == sorted(ids)
+
+    def test_most_records_have_patch_links(self, nvd):
+        with_links = len(nvd.records_with_patch_links())
+        assert with_links >= 0.7 * len(nvd)
+
+    def test_some_records_missing_links(self, tiny_world):
+        big_nvd = build_nvd(tiny_world, NvdConfig(missing_link_fraction=0.5, seed=1))
+        assert len(big_nvd.records_with_patch_links()) < len(big_nvd)
+
+    def test_cwe_and_cvss_populated(self, nvd):
+        for rec in nvd.all_records():
+            assert rec.cwe_id.startswith(("CWE-", "NVD-CWE"))
+            assert 0.0 <= rec.cvss_score <= 10.0
+
+    def test_config_validation(self):
+        with pytest.raises(NvdError):
+            NvdConfig(missing_link_fraction=2.0).validate()
+
+
+class TestUrlPattern:
+    def test_matches_commit_url(self):
+        url = "https://github.com/owner/repo/commit/" + "a" * 40
+        m = COMMIT_URL_RE.match(url)
+        assert m and m.group("sha") == "a" * 40
+
+    @pytest.mark.parametrize(
+        "url",
+        [
+            "https://github.com/owner/repo/pull/5",
+            "https://github.com/owner/repo/commit/short",
+            "https://bugzilla.example.org/1",
+        ],
+    )
+    def test_rejects_non_commit_urls(self, url):
+        assert COMMIT_URL_RE.match(url) is None
+
+
+class TestCrawler:
+    def test_fetch_patch_text(self, tiny_world, crawler):
+        sha = tiny_world.nvd_shas()[0]
+        url = tiny_world.repo_of(sha).commit_url(sha)
+        text = crawler.fetch_patch_text(url)
+        assert text.startswith(f"From {sha}")
+
+    def test_fetch_bad_url_raises(self, crawler):
+        with pytest.raises(NvdError):
+            crawler.fetch_patch_text("https://example.com/nope")
+
+    def test_fetch_unknown_commit_raises(self, crawler):
+        with pytest.raises(NvdError):
+            crawler.fetch_patch_text("https://github.com/no/repo/commit/" + "b" * 40)
+
+    def test_crawl_extracts_patches(self, tiny_world, nvd, crawler):
+        result = crawler.crawl(nvd)
+        assert len(result.patches) > 0
+        assert len(result.patches) <= len(nvd)
+        # Missing links are accounted for.
+        assert result.skipped_no_link == len(nvd) - len(nvd.records_with_patch_links())
+
+    def test_crawled_patches_are_c_only(self, nvd, crawler):
+        result = crawler.crawl(nvd)
+        for patch in result.patches.values():
+            assert all(f.is_c_cpp for f in patch.files)
+
+    def test_crawled_shas_exist_in_world(self, tiny_world, nvd, crawler):
+        result = crawler.crawl(nvd)
+        for patch in result.patches.values():
+            assert patch.sha in tiny_world.labels
+
+    def test_summary_format(self, nvd, crawler):
+        summary = crawler.crawl(nvd).summary()
+        assert "patches from" in summary
+
+    def test_wrong_links_crawl_without_error(self, tiny_world):
+        noisy_nvd = build_nvd(tiny_world, NvdConfig(wrong_link_fraction=0.5, seed=2))
+        result = NvdCrawler(tiny_world).crawl(noisy_nvd)
+        # Wrong links resolve to real commits, so they still produce patches;
+        # the point is the pipeline inherits that label noise silently.
+        assert len(result.patches) > 0

@@ -1,0 +1,70 @@
+"""Tests for patch application and inversion."""
+
+import pytest
+
+from repro.diffing import diff_texts
+from repro.errors import PatchApplyError
+from repro.patch import apply_file_diff, invert_file_diff, invert_hunk, reverse_file_diff
+
+OLD = "\n".join(f"line {i}" for i in range(20)) + "\n"
+NEW = OLD.replace("line 4", "LINE FOUR").replace("line 15", "line 15\nline 15.5")
+
+
+@pytest.fixture()
+def fdiff():
+    return diff_texts(OLD, NEW, "a.c")
+
+
+class TestApply:
+    def test_apply_produces_new(self, fdiff):
+        assert apply_file_diff(OLD, fdiff) == NEW
+
+    def test_reverse_produces_old(self, fdiff):
+        assert reverse_file_diff(NEW, fdiff) == OLD
+
+    def test_apply_to_empty_file(self):
+        d = diff_texts("", "a\nb\n", "a.c")
+        assert apply_file_diff("", d) == "a\nb\n"
+
+    def test_apply_deletion_to_empty(self):
+        d = diff_texts("a\nb\n", "", "a.c")
+        assert apply_file_diff("a\nb\n", d) == ""
+
+    def test_context_mismatch_raises(self, fdiff):
+        corrupted = OLD.replace("line 3", "TAMPERED")
+        with pytest.raises(PatchApplyError):
+            apply_file_diff(corrupted, fdiff)
+
+    def test_removed_mismatch_raises(self, fdiff):
+        corrupted = OLD.replace("line 4", "TAMPERED")
+        with pytest.raises(PatchApplyError):
+            apply_file_diff(corrupted, fdiff)
+
+    def test_hunk_past_eof_raises(self, fdiff):
+        with pytest.raises(PatchApplyError):
+            apply_file_diff("short\n", fdiff)
+
+
+class TestInvert:
+    def test_invert_hunk_swaps_sides(self, fdiff):
+        hunk = fdiff.hunks[0]
+        inv = invert_hunk(hunk)
+        assert inv.added == hunk.removed
+        assert inv.removed == hunk.added
+        assert inv.old_start == hunk.new_start
+        assert inv.new_start == hunk.old_start
+
+    def test_double_invert_is_identity(self, fdiff):
+        assert invert_file_diff(invert_file_diff(fdiff)) == fdiff
+
+    def test_invert_swaps_paths_and_blobs(self):
+        d = diff_texts("x\n", "y\n", "a.c")
+        from dataclasses import replace
+
+        d = replace(d, old_blob="aaa", new_blob="bbb")
+        inv = invert_file_diff(d)
+        assert inv.old_blob == "bbb"
+        assert inv.new_blob == "aaa"
+
+    def test_invert_then_apply_round_trip(self, fdiff):
+        assert apply_file_diff(NEW, invert_file_diff(fdiff)) == OLD

@@ -1,0 +1,55 @@
+"""Property-based tests: diff/apply/invert interplay on arbitrary files."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffing import diff_texts
+from repro.patch import apply_file_diff, invert_file_diff, reverse_file_diff
+
+file_lines = st.lists(
+    st.text(alphabet="abcxyz= +-();{}", min_size=0, max_size=10), min_size=0, max_size=20
+)
+
+
+def as_text(lines):
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class TestApplyProperties:
+    @given(old=file_lines, new=file_lines)
+    @settings(max_examples=150, deadline=None)
+    def test_apply_then_reverse_is_identity(self, old, new):
+        old_text, new_text = as_text(old), as_text(new)
+        if old_text == new_text:
+            return
+        d = diff_texts(old_text, new_text, "f.c")
+        assert reverse_file_diff(apply_file_diff(old_text, d), d) == old_text
+
+    @given(old=file_lines, new=file_lines)
+    @settings(max_examples=150, deadline=None)
+    def test_inverted_diff_applies_backwards(self, old, new):
+        old_text, new_text = as_text(old), as_text(new)
+        if old_text == new_text:
+            return
+        d = diff_texts(old_text, new_text, "f.c")
+        assert apply_file_diff(new_text, invert_file_diff(d)) == old_text
+
+    @given(a=file_lines, b=file_lines, c=file_lines)
+    @settings(max_examples=80, deadline=None)
+    def test_sequential_patches_compose(self, a, b, c):
+        ta, tb, tc = as_text(a), as_text(b), as_text(c)
+        if ta == tb or tb == tc:
+            return
+        d1 = diff_texts(ta, tb, "f.c")
+        d2 = diff_texts(tb, tc, "f.c")
+        assert apply_file_diff(apply_file_diff(ta, d1), d2) == tc
+
+    @given(old=file_lines, new=file_lines)
+    @settings(max_examples=100, deadline=None)
+    def test_hunk_line_accounting(self, old, new):
+        old_text, new_text = as_text(old), as_text(new)
+        d = diff_texts(old_text, new_text, "f.c")
+        added = sum(len(h.added) for h in d.hunks)
+        removed = sum(len(h.removed) for h in d.hunks)
+        # Net line change of the hunks equals the file-length delta.
+        assert added - removed == len(new) - len(old)

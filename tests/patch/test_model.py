@@ -1,0 +1,156 @@
+"""Tests for the patch data model."""
+
+import pytest
+
+from repro.patch import FileDiff, Hunk, Line, LineKind, Patch, is_c_cpp_path
+
+
+def _hunk(lines, old_start=1, new_start=1, section=""):
+    old = sum(1 for l in lines if l.kind is not LineKind.ADDED)
+    new = sum(1 for l in lines if l.kind is not LineKind.REMOVED)
+    return Hunk(old_start, old, new_start, new, tuple(lines), section)
+
+
+SIMPLE_LINES = [
+    Line(LineKind.CONTEXT, "int a;"),
+    Line(LineKind.REMOVED, "a = 1;"),
+    Line(LineKind.ADDED, "a = 2;"),
+    Line(LineKind.ADDED, "b = 3;"),
+    Line(LineKind.CONTEXT, "return a;"),
+]
+
+
+class TestLine:
+    def test_render_context(self):
+        assert Line(LineKind.CONTEXT, "x").render() == " x"
+
+    def test_render_added(self):
+        assert Line(LineKind.ADDED, "x").render() == "+x"
+
+    def test_render_removed(self):
+        assert Line(LineKind.REMOVED, "x").render() == "-x"
+
+    def test_line_is_frozen(self):
+        with pytest.raises(AttributeError):
+            Line(LineKind.ADDED, "x").text = "y"
+
+
+class TestHunk:
+    def test_added_removed_context(self):
+        hunk = _hunk(SIMPLE_LINES)
+        assert hunk.added == ("a = 2;", "b = 3;")
+        assert hunk.removed == ("a = 1;",)
+        assert hunk.context == ("int a;", "return a;")
+
+    def test_header_with_section(self):
+        hunk = _hunk(SIMPLE_LINES, old_start=10, new_start=12, section="int main()")
+        assert hunk.header() == "@@ -10,3 +12,4 @@ int main()"
+
+    def test_header_without_section(self):
+        hunk = _hunk(SIMPLE_LINES)
+        assert hunk.header() == "@@ -1,3 +1,4 @@"
+
+    def test_pure_addition(self):
+        hunk = _hunk([Line(LineKind.ADDED, "x")])
+        assert hunk.is_pure_addition
+        assert not hunk.is_pure_removal
+
+    def test_pure_removal(self):
+        hunk = _hunk([Line(LineKind.REMOVED, "x")])
+        assert hunk.is_pure_removal
+        assert not hunk.is_pure_addition
+
+    def test_validate_accepts_consistent(self):
+        _hunk(SIMPLE_LINES).validate()
+
+    def test_validate_rejects_bad_counts(self):
+        hunk = Hunk(1, 99, 1, 99, tuple(SIMPLE_LINES))
+        with pytest.raises(ValueError):
+            hunk.validate()
+
+    def test_old_lines_touched(self):
+        hunk = _hunk(SIMPLE_LINES, old_start=10)
+        # context(10), removed(11), added, added, context
+        assert hunk.old_lines_touched() == (11,)
+
+    def test_new_lines_touched(self):
+        hunk = _hunk(SIMPLE_LINES, new_start=20)
+        # context(20), removed, added(21), added(22), context(23)
+        assert hunk.new_lines_touched() == (21, 22)
+
+
+class TestFileDiff:
+    def test_path_prefers_new(self):
+        diff = FileDiff("old.c", "new.c", ())
+        assert diff.path == "new.c"
+
+    def test_path_falls_back_to_old(self):
+        diff = FileDiff("gone.c", "", ())
+        assert diff.path == "gone.c"
+
+    def test_new_file_flags(self):
+        diff = FileDiff("", "a.c", ())
+        assert diff.is_new_file and not diff.is_deleted_file
+
+    def test_deleted_file_flags(self):
+        diff = FileDiff("a.c", "", ())
+        assert diff.is_deleted_file and not diff.is_new_file
+
+    def test_is_c_cpp(self):
+        assert FileDiff("a.c", "a.c", ()).is_c_cpp
+        assert not FileDiff("ChangeLog", "ChangeLog", ()).is_c_cpp
+
+    def test_line_counts(self):
+        diff = FileDiff("a.c", "a.c", (_hunk(SIMPLE_LINES),))
+        assert diff.added_line_count() == 2
+        assert diff.removed_line_count() == 1
+
+
+class TestCFilter:
+    @pytest.mark.parametrize(
+        "path", ["a.c", "b.cpp", "x/y.h", "z.hpp", "m.cc", "n.cxx", "UP.C", "deep/dir/f.HH"]
+    )
+    def test_c_cpp_paths(self, path):
+        assert is_c_cpp_path(path)
+
+    @pytest.mark.parametrize(
+        "path", ["ChangeLog", "run.sh", "conf.kconfig", "test.phpt", "README.md", "noext", "a.py"]
+    )
+    def test_non_c_paths(self, path):
+        assert not is_c_cpp_path(path)
+
+
+class TestPatch:
+    def _patch(self):
+        c_diff = FileDiff("a.c", "a.c", (_hunk(SIMPLE_LINES, section="int f()"),))
+        doc_diff = FileDiff("ChangeLog", "ChangeLog", (_hunk([Line(LineKind.ADDED, "note")]),))
+        return Patch(
+            sha="a" * 40,
+            message="fix bug\n\nlong description",
+            files=(c_diff, doc_diff),
+            repo="owner/repo",
+        )
+
+    def test_subject(self):
+        assert self._patch().subject == "fix bug"
+
+    def test_hunks_flattened(self):
+        assert len(self._patch().hunks) == 2
+
+    def test_added_removed_lines(self):
+        patch = self._patch()
+        assert "a = 2;" in patch.added_lines()
+        assert "note" in patch.added_lines()
+        assert patch.removed_lines() == ["a = 1;"]
+
+    def test_touched_paths(self):
+        assert self._patch().touched_paths() == ("a.c", "ChangeLog")
+
+    def test_only_c_cpp_strips_docs(self):
+        filtered = self._patch().only_c_cpp()
+        assert filtered.touched_paths() == ("a.c",)
+        assert filtered.sha == "a" * 40
+
+    def test_only_c_cpp_can_empty(self):
+        patch = Patch("b" * 40, "docs", (FileDiff("README.md", "README.md", ()),))
+        assert patch.only_c_cpp().is_empty

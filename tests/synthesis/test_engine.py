@@ -1,0 +1,152 @@
+"""Tests for the oversampling locator and engine."""
+
+import pytest
+
+from repro.diffing import diff_texts
+from repro.errors import SynthesisError
+from repro.synthesis import (
+    VARIANTS,
+    PatchSynthesizer,
+    locate_ifs,
+    synthesize_from_texts,
+    touched_lines,
+)
+
+BEFORE = """int check(int len, int cap)
+{
+    int r = 0;
+    r = len + 1;
+    if (len > cap) {
+        r = -1;
+    }
+    return r;
+}
+"""
+
+# The "patch": tighten the condition (touches the if statement).
+AFTER = BEFORE.replace("if (len > cap) {", "if (len > cap || len < 0) {")
+
+
+class TestTouchedLines:
+    def test_after_side(self):
+        d = diff_texts(BEFORE, AFTER, "a.c")
+        assert 5 in touched_lines(d, "after")
+
+    def test_before_side(self):
+        d = diff_texts(BEFORE, AFTER, "a.c")
+        assert 5 in touched_lines(d, "before")
+
+    def test_pure_addition_has_no_before_lines(self):
+        new = BEFORE.replace("    return r;", "    log(r);\n    return r;")
+        d = diff_texts(BEFORE, new, "a.c")
+        assert touched_lines(d, "before") == set()
+        assert touched_lines(d, "after") != set()
+
+
+class TestLocator:
+    def test_direct_intersection_found(self):
+        d = diff_texts(BEFORE, AFTER, "a.c")
+        sites = locate_ifs(AFTER, touched_lines(d, "after"))
+        assert sites
+        assert sites[0].direct
+        assert "len > cap" in sites[0].stmt.cond.text
+
+    def test_function_fallback(self):
+        # Change a line outside the if; fallback finds the function's ifs.
+        new = BEFORE.replace("r = len + 1;", "r = len + 2;")
+        d = diff_texts(BEFORE, new, "a.c")
+        sites = locate_ifs(new, touched_lines(d, "after"))
+        assert sites
+        assert not sites[0].direct
+
+    def test_fallback_disabled(self):
+        new = BEFORE.replace("r = len + 1;", "r = len + 2;")
+        d = diff_texts(BEFORE, new, "a.c")
+        assert locate_ifs(new, touched_lines(d, "after"), allow_function_fallback=False) == []
+
+    def test_empty_lines_no_sites(self):
+        assert locate_ifs(AFTER, set()) == []
+
+
+class TestSynthesizeFromTexts:
+    @pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: f"v{v.variant_id}")
+    def test_after_side_keeps_before(self, variant):
+        result = synthesize_from_texts(BEFORE, AFTER, "a.c", variant, side="after")
+        assert result is not None
+        new_before, new_after = result
+        assert new_before == BEFORE
+        assert "_SYS_" in new_after
+
+    def test_before_side_keeps_after(self):
+        result = synthesize_from_texts(BEFORE, AFTER, "a.c", VARIANTS[0], side="before")
+        assert result is not None
+        new_before, new_after = result
+        assert new_after == AFTER
+        assert "_SYS_" in new_before
+
+    def test_synthetic_diff_contains_original_fix(self):
+        _, new_after = synthesize_from_texts(BEFORE, AFTER, "a.c", VARIANTS[0], side="after")
+        d = diff_texts(BEFORE, new_after, "a.c")
+        added = " ".join(l for h in d.hunks for l in h.added)
+        assert "len < 0" in added  # the natural fix survives
+        assert "_SYS_ZERO" in added  # plus the variant scaffolding
+
+    def test_identical_texts_return_none(self):
+        assert synthesize_from_texts(BEFORE, BEFORE, "a.c", VARIANTS[0]) is None
+
+    def test_bad_side_raises(self):
+        with pytest.raises(SynthesisError):
+            synthesize_from_texts(BEFORE, AFTER, "a.c", VARIANTS[0], side="sideways")
+
+    def test_site_index_out_of_range(self):
+        assert synthesize_from_texts(BEFORE, AFTER, "a.c", VARIANTS[0], site_index=99) is None
+
+
+class TestPatchSynthesizer:
+    def test_synthesizes_for_security_patches(self, tiny_world):
+        synth = PatchSynthesizer(tiny_world, max_per_patch=4, seed=0)
+        produced = synth.synthesize_many(tiny_world.security_shas()[:15])
+        assert len(produced) > 0
+
+    def test_max_per_patch_respected(self, tiny_world):
+        synth = PatchSynthesizer(tiny_world, max_per_patch=2, seed=0)
+        for sha in tiny_world.security_shas()[:10]:
+            assert len(synth.synthesize(sha)) <= 2
+
+    def test_provenance_recorded(self, tiny_world):
+        synth = PatchSynthesizer(tiny_world, max_per_patch=3, seed=0)
+        sha = tiny_world.security_shas()[0]
+        for sp in synth.synthesize(sha):
+            assert sp.origin_sha == sha
+            assert 1 <= sp.variant_id <= 8
+            assert sp.side in ("before", "after")
+
+    def test_synthetic_sha_distinct_and_hexlike(self, tiny_world):
+        synth = PatchSynthesizer(tiny_world, max_per_patch=4, seed=0)
+        shas = []
+        for sha in tiny_world.security_shas()[:10]:
+            for sp in synth.synthesize(sha):
+                assert len(sp.patch.sha) == 40
+                assert all(c in "0123456789abcdef" for c in sp.patch.sha)
+                assert sp.patch.sha != sha
+                shas.append(sp.patch.sha)
+        assert len(shas) == len(set(shas))
+
+    def test_synthetic_patch_contains_scaffolding(self, tiny_world):
+        synth = PatchSynthesizer(tiny_world, max_per_patch=4, seed=0)
+        for sha in tiny_world.security_shas()[:10]:
+            for sp in synth.synthesize(sha):
+                # AFTER-side variants show scaffolding as added lines;
+                # BEFORE-side variants show it as removed lines (§III-C-3).
+                changed = " ".join(sp.patch.added_lines() + sp.patch.removed_lines())
+                assert "_SYS_" in changed
+
+    def test_deterministic(self, tiny_world):
+        sha = tiny_world.security_shas()[0]
+        a = PatchSynthesizer(tiny_world, seed=7).synthesize(sha)
+        b = PatchSynthesizer(tiny_world, seed=7).synthesize(sha)
+        assert [sp.patch.sha for sp in a] == [sp.patch.sha for sp in b]
+
+    def test_bad_max_per_patch(self, tiny_world):
+        with pytest.raises(SynthesisError):
+            PatchSynthesizer(tiny_world, max_per_patch=0)

@@ -1,0 +1,153 @@
+"""Tests for the Fig. 5 variant templates, including semantic equivalence.
+
+The equivalence check executes both the original condition and the variant's
+scaffolding + new condition under a small interpreter for the statement
+forms the templates emit, over exhaustive variable assignments.
+"""
+
+import itertools
+import re
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.lang import parse_translation_unit
+from repro.synthesis import N_VARIANTS, VARIANTS, Variant, apply_variant_text
+
+
+def c_eval(expr: str, env: dict) -> bool:
+    """Evaluate a side-effect-free C boolean expression in Python."""
+    py = expr.replace("&&", " and ").replace("||", " or ")
+    py = re.sub(r"!(?!=)", " not ", py)
+    return bool(eval(py, {}, dict(env)))  # noqa: S307 - test-local inputs
+
+
+def run_variant(variant: Variant, cond: str, env: dict) -> bool:
+    """Execute a variant's pre-lines + new condition under *env*."""
+    pre_lines, new_cond = variant.rewrite(cond, "t", "")
+    scope = dict(env)
+    for line in pre_lines:
+        line = line.strip()
+        decl = re.match(r"(?:const )?int (\w+) = (.+);$", line)
+        guarded = re.match(r"if \((.+)\) \{ (\w+) = (\d); \}$", line)
+        if decl:
+            scope[decl.group(1)] = int(c_eval(decl.group(2), scope))
+        elif guarded:
+            if c_eval(guarded.group(1), scope):
+                scope[guarded.group(2)] = int(guarded.group(3))
+        else:
+            raise AssertionError(f"unrecognized scaffold line: {line!r}")
+    return c_eval(new_cond, scope)
+
+
+CONDITIONS = [
+    "x > 0",
+    "x == 0",
+    "x != y",
+    "x > 0 && y < 3",
+    "x > 1 || y > 1",
+    "x >= y",
+]
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: f"v{v.variant_id}")
+    @pytest.mark.parametrize("cond", CONDITIONS)
+    def test_variant_preserves_truth_table(self, variant, cond):
+        for x, y in itertools.product(range(-2, 4), repeat=2):
+            env = {"x": x, "y": y}
+            assert run_variant(variant, cond, env) == c_eval(cond, env), (
+                f"variant {variant.variant_id} changed semantics of {cond!r} at {env}"
+            )
+
+    def test_eight_variants(self):
+        assert N_VARIANTS == len(VARIANTS) == 8
+        assert [v.variant_id for v in VARIANTS] == list(range(1, 9))
+
+    def test_unknown_variant_id_raises(self):
+        with pytest.raises(SynthesisError):
+            Variant(99, "bogus").rewrite("x", "s", "")
+
+
+SOURCE = """int check(int x, int y)
+{
+    int r = 0;
+    if (x > 0 && y < 10) {
+        r = 1;
+    }
+    return r;
+}
+"""
+
+
+def _if_coords(source: str):
+    """(cond_open, cond_close, if_line) of the first if statement."""
+    from repro.lang import find_if_statements
+
+    stmt = find_if_statements(parse_translation_unit(source))[0]
+    return (
+        (stmt.cond_open_line, stmt.cond_open_col),
+        (stmt.cond_close_line, stmt.cond_close_col),
+        stmt.start_line,
+    )
+
+
+class TestTextRewrite:
+    @pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: f"v{v.variant_id}")
+    def test_rewritten_file_parses(self, variant):
+        opn, cls, ln = _if_coords(SOURCE)
+        out = apply_variant_text(SOURCE, variant, opn, cls, ln, "99")
+        unit = parse_translation_unit(out)
+        assert len(unit.functions) == 1
+        assert "_SYS_" in out
+
+    def test_scaffold_above_if(self):
+        opn, cls, ln = _if_coords(SOURCE)
+        out = apply_variant_text(SOURCE, VARIANTS[0], opn, cls, ln, "01")
+        lines = out.splitlines()
+        scaffold = next(i for i, l in enumerate(lines) if "_SYS_ZERO_01" in l)
+        if_line = next(i for i, l in enumerate(lines) if "if (" in l and "_SYS_ZERO_01 ||" in l)
+        assert scaffold < if_line
+
+    def test_indentation_matched(self):
+        opn, cls, ln = _if_coords(SOURCE)
+        out = apply_variant_text(SOURCE, VARIANTS[0], opn, cls, ln, "02")
+        scaffold = next(l for l in out.splitlines() if "_SYS_ZERO_02" in l and "const" in l)
+        assert scaffold.startswith("    const")
+
+    def test_misaligned_span_raises(self):
+        opn, cls, ln = _if_coords(SOURCE)
+        with pytest.raises(SynthesisError):
+            apply_variant_text(SOURCE, VARIANTS[0], (opn[0], opn[1] + 1), cls, ln, "03")
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(SynthesisError):
+            apply_variant_text(SOURCE, VARIANTS[0], (99, 1), (99, 5), 99, "04")
+
+    def test_multiline_condition_collapsed(self):
+        src = "int f(int a, int b)\n{\n    if (a > 0 &&\n        b < 5)\n        return 1;\n    return 0;\n}\n"
+        opn, cls, ln = _if_coords(src)
+        assert opn[0] != cls[0]  # really multi-line
+        out = apply_variant_text(src, VARIANTS[1], opn, cls, ln, "05")
+        unit = parse_translation_unit(out)
+        assert len(unit.functions) == 1
+        assert "_SYS_ONE_05 &&" in out
+
+    def test_suffix_uniquifies(self):
+        opn, cls, ln = _if_coords(SOURCE)
+        out = apply_variant_text(SOURCE, VARIANTS[2], opn, cls, ln, "aa")
+        assert "_SYS_STMT_aa" in out
+
+
+class TestParenthesization:
+    def test_compound_condition_wrapped(self):
+        pre, new_cond = VARIANTS[0].rewrite("a || b", "s", "")
+        assert "(a || b)" in new_cond
+
+    def test_simple_condition_not_doubly_wrapped(self):
+        _, new_cond = VARIANTS[0].rewrite("x", "s", "")
+        assert "((" not in new_cond
+
+    def test_already_parenthesized_not_rewrapped(self):
+        _, new_cond = VARIANTS[1].rewrite("(a || b)", "s", "")
+        assert "((a || b))" not in new_cond

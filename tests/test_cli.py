@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+PATCH_TEXT = """commit b84c2cab55948a5ee70860779b2640913e3ee1ed
+Author: Dev <d@example.org>
+Date:   Tue Nov 5 10:00:00 2019 -0500
+
+    prevent stack underflow
+
+diff --git a/src/bits.c b/src/bits.c
+--- a/src/bits.c
++++ b/src/bits.c
+@@ -953,7 +953,7 @@ bit_write_UMC (Bit_Chain *dat, BITCODE_UMC val)
+     if (byte[i] & 0x7f)
+       break;
+
+-  if (byte[i] & 0x40)
++  if (byte[i] & 0x40 && i > 0)
+     byte[i] &= 0x7f;
+   for (j = 4; j >= i; j--)
+     {
+"""
+
+BEFORE_C = "int get(int idx, int cap)\n{\n    if (idx >= cap)\n        return -1;\n    return idx;\n}\n"
+AFTER_C = BEFORE_C.replace("idx >= cap", "idx >= cap || idx < 0")
+
+
+@pytest.fixture()
+def patch_file(tmp_path):
+    path = tmp_path / "fix.patch"
+    path.write_text(PATCH_TEXT)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize("cmd", ["build", "stats", "features", "categorize", "synthesize"])
+    def test_subcommands_exist(self, cmd):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([cmd, "--help"])
+
+
+class TestCategorize:
+    def test_prints_type(self, patch_file, capsys):
+        assert main(["categorize", patch_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("3\t")
+        assert "sanity checks" in out
+
+
+class TestFeatures:
+    def test_nonzero_only_by_default(self, patch_file, capsys):
+        assert main(["features", patch_file]) == 0
+        out = capsys.readouterr().out
+        assert "changed_lines: 2" in out
+        assert "added_loops" not in out
+
+    def test_all_flag_prints_sixty(self, patch_file, capsys):
+        assert main(["features", "--all", patch_file]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 60
+
+
+class TestSynthesize:
+    def test_all_variants(self, tmp_path, capsys):
+        before = tmp_path / "b.c"
+        after = tmp_path / "a.c"
+        before.write_text(BEFORE_C)
+        after.write_text(AFTER_C)
+        assert main(["synthesize", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("# variant") == 8
+        assert "_SYS_" in out
+
+    def test_single_variant(self, tmp_path, capsys):
+        before = tmp_path / "b.c"
+        after = tmp_path / "a.c"
+        before.write_text(BEFORE_C)
+        after.write_text(AFTER_C)
+        assert main(["synthesize", str(before), str(after), "--variant", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("# variant") == 1
+        assert "_SYS_ZERO" in out
+
+    def test_no_if_site_fails(self, tmp_path, capsys):
+        before = tmp_path / "b.c"
+        after = tmp_path / "a.c"
+        before.write_text("int x = 1;\n")
+        after.write_text("int x = 2;\n")
+        assert main(["synthesize", str(before), str(after)]) == 1
+
+
+class TestBuildAndStats:
+    def test_build_then_stats(self, tmp_path, capsys):
+        out_path = tmp_path / "db.jsonl"
+        assert main(["build", str(out_path), "--scale", "tiny", "--no-synthetic"]) == 0
+        build_out = capsys.readouterr().out
+        assert "nvd_security" in build_out
+        assert out_path.exists()
+
+        assert main(["stats", str(out_path)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "security patch composition" in stats_out
+        assert "total" in stats_out

@@ -1,0 +1,85 @@
+"""Tests for the exception hierarchy and the top-level public API."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    ALL_ERRORS = [
+        errors.PatchFormatError,
+        errors.PatchApplyError,
+        errors.LexError,
+        errors.ParseError,
+        errors.FeatureError,
+        errors.ModelError,
+        errors.NotFittedError,
+        errors.VcsError,
+        errors.ObjectNotFoundError,
+        errors.CorpusError,
+        errors.NvdError,
+        errors.AugmentationError,
+        errors.SynthesisError,
+    ]
+
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_not_fitted_is_model_error(self):
+        assert issubclass(errors.NotFittedError, errors.ModelError)
+
+    def test_object_not_found_is_vcs_error(self):
+        assert issubclass(errors.ObjectNotFoundError, errors.VcsError)
+
+    def test_patch_format_error_line_number(self):
+        err = errors.PatchFormatError("bad hunk", line_no=7)
+        assert "line 7" in str(err)
+        assert err.line_no == 7
+
+    def test_patch_format_error_without_line(self):
+        err = errors.PatchFormatError("bad header")
+        assert err.line_no is None
+
+    def test_catch_all_at_boundary(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SynthesisError("boom")
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_exports(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_parse_and_extract_round(self, listing_1):
+        patch = repro.parse_patch(listing_1)
+        vec = repro.extract_features(patch)
+        assert vec.shape == (60,)
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.core
+        import repro.corpus
+        import repro.diffing
+        import repro.features
+        import repro.lang
+        import repro.ml
+        import repro.nvd
+        import repro.patch
+        import repro.synthesis
+        import repro.vcs
+
+    def test_all_lists_are_sorted_sets(self):
+        """Each subpackage's __all__ has no duplicates."""
+        import repro.core
+        import repro.features
+        import repro.lang
+        import repro.ml
+        import repro.patch
+
+        for mod in (repro.core, repro.features, repro.lang, repro.ml, repro.patch):
+            assert len(mod.__all__) == len(set(mod.__all__)), mod.__name__
