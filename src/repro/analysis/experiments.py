@@ -45,6 +45,7 @@ from ..ml import (
 )
 from ..nvd.crawler import CrawlResult, NvdCrawler
 from ..nvd.database import NvdConfig, NvdDatabase, build_nvd
+from ..obs import ObsRegistry
 from ..synthesis.engine import PatchSynthesizer
 from .distribution import (
     distribution_table,
@@ -104,11 +105,26 @@ MEDIUM = ExperimentScale("medium", n_commits=9000, n_repos=24, set1_size=2000, s
 
 
 class ExperimentWorld:
-    """A built world plus the shared per-experiment infrastructure."""
+    """A built world plus the shared per-experiment infrastructure.
 
-    def __init__(self, scale: ExperimentScale, seed: int = 2021) -> None:
+    Args:
+        scale: corpus-size preset.
+        seed: world RNG seed.
+        feature_cache: optional ``.npz`` path; vectors persist across
+            processes (see :class:`PatchFeatureCache`).
+        workers: default process count for parallel feature extraction.
+    """
+
+    def __init__(
+        self,
+        scale: ExperimentScale,
+        seed: int = 2021,
+        feature_cache: str | Path | None = None,
+        workers: int | None = None,
+    ) -> None:
         self.scale = scale
         self.seed = seed
+        self.obs = ObsRegistry()
         self.world: World = build_world(
             WorldConfig(
                 n_commits=scale.n_commits,
@@ -121,7 +137,12 @@ class ExperimentWorld:
         )
         self.nvd: NvdDatabase = build_nvd(self.world, NvdConfig(seed=seed + 1))
         self.crawl: CrawlResult = NvdCrawler(self.world).crawl(self.nvd)
-        self.cache = PatchFeatureCache(self.world)
+        self.cache = PatchFeatureCache(
+            self.world,
+            persist_path=feature_cache,
+            obs=self.obs,
+            default_workers=workers,
+        )
         self._rng = np.random.default_rng(seed + 2)
 
     # ---- shared dataset views --------------------------------------------

@@ -32,11 +32,18 @@ _SCALES = {"tiny": TINY, "small": SMALL, "medium": MEDIUM}
 def _cmd_build(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     print(f"building {scale.name} world (seed {args.seed})...", file=sys.stderr)
-    ew = ExperimentWorld(scale, seed=args.seed)
+    ew = ExperimentWorld(
+        scale, seed=args.seed, feature_cache=args.feature_cache, workers=args.workers
+    )
     db = build_patchdb(ew, synthesize=not args.no_synthetic)
     db.save_jsonl(args.output)
     for key, value in db.summary().items():
         print(f"{key:>24s}: {value}")
+    if args.feature_cache:
+        path = ew.cache.save()
+        print(f"persisted {len(ew.cache)} feature vectors to {path}", file=sys.stderr)
+    if args.stats:
+        print(f"\n{ew.obs.report()}", file=sys.stderr)
     print(f"wrote {len(db)} records to {args.output}", file=sys.stderr)
     return 0
 
@@ -115,6 +122,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
     p_build.add_argument("--seed", type=int, default=2021)
     p_build.add_argument("--no-synthetic", action="store_true", help="skip oversampling")
+    p_build.add_argument(
+        "--workers", type=int, default=None, help="parallel feature-extraction processes"
+    )
+    p_build.add_argument(
+        "--feature-cache",
+        default=None,
+        metavar="NPZ",
+        help="persist/reuse feature vectors at this .npz path",
+    )
+    p_build.add_argument(
+        "--stats", action="store_true", help="print phase timings and counters to stderr"
+    )
     p_build.set_defaults(func=_cmd_build)
 
     p_stats = sub.add_parser("stats", help="summarize a PatchDB JSONL")

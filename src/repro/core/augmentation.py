@@ -8,6 +8,16 @@ pool, and repeat while the security yield stays above a threshold.
 ``run_schedule`` reproduces the exact Table II protocol — several rounds on
 one search range (Set I), then fresh larger ranges (Sets II/III) — and
 returns one :class:`RoundResult` per row of the table.
+
+At PatchDB scale the repeated ``M×N`` weighted distance matrix is the cost
+center, so the schedule maintains it incrementally through a
+:class:`~repro.features.normalize.DistanceEngine`: weights are fitted once
+per search set, each round appends rows for the newly verified patches and
+deletes columns for the reviewed candidates, and a full refit happens only
+when the fitted maxima drift (see the engine docstring).  Results are
+numerically equivalent to per-round recomputation; pass
+``incremental=False`` to force the from-scratch path (used by tests and the
+``benchmarks/test_incremental_distance.py`` baseline).
 """
 
 from __future__ import annotations
@@ -17,7 +27,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import AugmentationError
-from ..features.normalize import weighted_distance_matrix
+from ..features.normalize import DistanceEngine, weighted_distance_matrix
+from ..obs import ObsRegistry
 from .cache import PatchFeatureCache
 from .nearest_link import nearest_link_search
 from .oracle import VerificationOracle
@@ -87,6 +98,12 @@ class DatasetAugmentation:
         cache: feature cache over the world.
         oracle: the verification panel.
         ratio_threshold: stop early when a round's yield drops below this.
+        incremental: maintain the per-set distance matrix with a
+            :class:`DistanceEngine` instead of rebuilding it every round.
+        tolerance: the engine's relative drift tolerance before a full
+            refit; 0.0 keeps results exactly equivalent to full rebuilds.
+        obs: observability registry; defaults to the cache's, so timings and
+            counters from extraction and distance work land in one place.
     """
 
     def __init__(
@@ -94,17 +111,65 @@ class DatasetAugmentation:
         cache: PatchFeatureCache,
         oracle: VerificationOracle,
         ratio_threshold: float = 0.0,
+        incremental: bool = True,
+        tolerance: float = 0.0,
+        obs: ObsRegistry | None = None,
     ) -> None:
         if not 0.0 <= ratio_threshold <= 1.0:
             raise AugmentationError("ratio_threshold must be in [0, 1]")
         self._cache = cache
         self._oracle = oracle
         self.ratio_threshold = ratio_threshold
+        self.incremental = incremental
+        self.tolerance = tolerance
+        self.obs = obs if obs is not None else cache.obs
+
+    # ---- shared helpers ---------------------------------------------------
+
+    def _require_sides(self, n_security: int, n_pool: int) -> None:
+        """Reject degenerate rounds before they reach the weighter.
+
+        Raises:
+            AugmentationError: empty side, or pool smaller than the seed.
+        """
+        if not n_security or not n_pool:
+            raise AugmentationError(
+                f"cannot run an augmentation round with {n_security} "
+                f"security shas and {n_pool} pool shas; both sides must be non-empty"
+            )
+        if n_pool < n_security:
+            raise AugmentationError(
+                f"pool ({n_pool}) smaller than security set ({n_security})"
+            )
+
+    def _review(
+        self, distance: np.ndarray, pool: list[str]
+    ) -> tuple[list[str], list[str], np.ndarray]:
+        """Select candidates from *distance* and have the panel verify them.
+
+        Returns:
+            ``(verified, rejected, candidate_idx)`` where ``candidate_idx``
+            are the selected column indices into *pool*.
+        """
+        with self.obs.timer("search"):
+            result = nearest_link_search(distance)
+        candidate_idx = result.candidate_set
+        candidates = [pool[int(i)] for i in candidate_idx]
+        with self.obs.timer("verify"):
+            verdicts = self._oracle.verify_many(candidates)
+        verified = [s for s, v in zip(candidates, verdicts) if v]
+        rejected = [s for s, v in zip(candidates, verdicts) if not v]
+        return verified, rejected, candidate_idx
+
+    # ---- the public API ---------------------------------------------------
 
     def run_round(
         self, security_shas: list[str], pool: list[str]
     ) -> tuple[list[str], list[str]]:
-        """One candidate-selection + verification round.
+        """One stand-alone candidate-selection + verification round.
+
+        Builds the distance matrix from scratch; the incremental engine only
+        pays off across the consecutive rounds of :meth:`run_schedule`.
 
         Args:
             security_shas: the currently verified security patches.
@@ -114,21 +179,14 @@ class DatasetAugmentation:
             ``(verified_security, rejected)`` partition of the candidates.
 
         Raises:
-            AugmentationError: if the pool is smaller than the seed set.
+            AugmentationError: empty sides, or pool smaller than the seed set.
         """
-        if len(pool) < len(security_shas):
-            raise AugmentationError(
-                f"pool ({len(pool)}) smaller than security set ({len(security_shas)})"
-            )
+        self._require_sides(len(security_shas), len(pool))
         sec_matrix = self._cache.matrix(security_shas)
         pool_matrix = self._cache.matrix(pool)
-        distance = weighted_distance_matrix(sec_matrix, pool_matrix)
-        result = nearest_link_search(distance)
-        candidate_idx = result.candidate_set
-        candidates = [pool[int(i)] for i in candidate_idx]
-        verdicts = self._oracle.verify_many(candidates)
-        verified = [s for s, v in zip(candidates, verdicts) if v]
-        rejected = [s for s, v in zip(candidates, verdicts) if not v]
+        with self.obs.timer("distance"):
+            distance = weighted_distance_matrix(sec_matrix, pool_matrix)
+        verified, rejected, _ = self._review(distance, pool)
         return verified, rejected
 
     def run_schedule(
@@ -138,19 +196,46 @@ class DatasetAugmentation:
         outcome = AugmentationOutcome(security_shas=list(seed_security_shas))
         round_no = 0
         for search_set in sets:
+            # Incremental mode keeps the pool list (and the engine's column
+            # space) fixed and masks reviewed columns; full mode filters the
+            # list per round.  Both see the same live pool each round.
             pool = list(search_set.shas)
+            n_live = len(pool)
+            engine: DistanceEngine | None = None
+            # The previous round's delta, folded in at the top of the next
+            # round: verified shas become rows, reviewed columns are masked.
+            pending_rows: list[str] = []
+            pending_drop: np.ndarray = np.empty(0, dtype=np.int64)
             for _ in range(search_set.rounds):
                 round_no += 1
-                verified, rejected = self.run_round(outcome.security_shas, pool)
-                reviewed = set(verified) | set(rejected)
-                pool = [s for s in pool if s not in reviewed]
+                self._require_sides(len(outcome.security_shas), n_live)
+                if self.incremental:
+                    if engine is None:
+                        engine = DistanceEngine(tolerance=self.tolerance, obs=self.obs)
+                        sec_matrix = self._cache.matrix(outcome.security_shas)
+                        pool_matrix = self._cache.matrix(pool)
+                        with self.obs.timer("distance"):
+                            distance = engine.reset(sec_matrix, pool_matrix)
+                    else:
+                        row_matrix = self._cache.matrix(pending_rows)
+                        with self.obs.timer("distance"):
+                            distance = engine.update(row_matrix, pending_drop)
+                    verified, rejected, reviewed_idx = self._review(distance, pool)
+                    pending_rows = list(verified)
+                    pending_drop = reviewed_idx
+                else:
+                    verified, rejected = self.run_round(outcome.security_shas, pool)
+                    reviewed = set(verified) | set(rejected)
+                    pool = [s for s in pool if s not in reviewed]
+                search_range = n_live
+                n_live -= len(verified) + len(rejected)
                 outcome.security_shas.extend(verified)
                 outcome.non_security_shas.extend(rejected)
                 result = RoundResult(
                     round_no=round_no,
                     set_name=search_set.name,
-                    search_range=len(pool) + len(reviewed),
-                    candidates=len(reviewed),
+                    search_range=search_range,
+                    candidates=len(verified) + len(rejected),
                     verified_security=len(verified),
                 )
                 outcome.rounds.append(result)

@@ -4,27 +4,133 @@ Every experiment consumes the same Table I features for the same commits;
 this cache computes each sha's vector once and assembles matrices on
 demand.  It is deliberately tied to shas (not Patch objects) so the
 augmentation loop, baselines, and quality experiments share one cache.
+
+Two scale features sit on top of the in-memory map:
+
+* **Chunked parallel extraction** — ``matrix(shas, workers=N)`` fans the
+  not-yet-cached shas out to a ``concurrent.futures`` process pool (the
+  extractor is pure Python, so threads would serialize on the GIL).  Each
+  worker receives the pickled world once via the pool initializer and
+  extracts whole chunks, so per-task overhead stays small.  Results are
+  identical to serial extraction; any pool failure falls back to serial.
+* **On-disk persistence** — an optional ``.npz`` file keyed by sha lets CLI
+  runs and benchmarks reuse vectors across processes.  The file stores the
+  sha list and the stacked matrix plus the ``use_repo_context`` flag; a
+  flag mismatch ignores the file rather than serving wrong vectors.
 """
 
 from __future__ import annotations
+
+import concurrent.futures
+from pathlib import Path
 
 import numpy as np
 
 from ..corpus.world import World
 from ..features.extractor import FeatureExtractor, RepoContext
 from ..features.vector import FEATURE_COUNT
+from ..obs import ObsRegistry
 
 __all__ = ["PatchFeatureCache"]
 
+# Per-process state for pool workers: (world, use_repo_context, extractors).
+_WORKER_STATE: tuple[World, bool, dict] | None = None
+
+
+def _init_worker(world: World, use_context: bool) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (world, use_context, {})
+
+
+def _extract_chunk(shas: list[str]) -> list[tuple[str, np.ndarray]]:
+    assert _WORKER_STATE is not None
+    world, use_context, extractors = _WORKER_STATE
+    out = []
+    for sha in shas:
+        label = world.label(sha)
+        extractor = extractors.get(label.repo_slug)
+        if extractor is None:
+            context = None
+            if use_context:
+                files, funcs = world.repos[label.repo_slug].stats_at_head()
+                context = RepoContext(total_files=files, total_functions=funcs)
+            extractor = FeatureExtractor(context)
+            extractors[label.repo_slug] = extractor
+        out.append((sha, extractor.extract(world.patch_for(sha))))
+    return out
+
 
 class PatchFeatureCache:
-    """Lazily-computed sha → feature-vector map for one world."""
+    """Lazily-computed sha → feature-vector map for one world.
 
-    def __init__(self, world: World, use_repo_context: bool = True) -> None:
+    Args:
+        world: the world whose commits are cached.
+        use_repo_context: give extractors repository-size denominators.
+        persist_path: optional ``.npz`` file to preload from (if present)
+            and to write via :meth:`save`.
+        obs: observability registry; a private one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        use_repo_context: bool = True,
+        persist_path: str | Path | None = None,
+        obs: ObsRegistry | None = None,
+        default_workers: int | None = None,
+    ) -> None:
         self._world = world
         self._vectors: dict[str, np.ndarray] = {}
         self._extractors: dict[str, FeatureExtractor] = {}
         self._use_context = use_repo_context
+        self._persist_path = Path(persist_path) if persist_path is not None else None
+        self.obs = obs if obs is not None else ObsRegistry()
+        self.default_workers = default_workers
+        if self._persist_path is not None and self._persist_path.exists():
+            self._load_npz(self._persist_path)
+
+    # ---- persistence ------------------------------------------------------
+
+    def _load_npz(self, path: Path) -> None:
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if bool(data["use_repo_context"]) != self._use_context:
+                    return
+                shas = data["shas"]
+                matrix = np.asarray(data["matrix"], dtype=np.float64)
+        except Exception:
+            return  # a corrupt cache file is just a cold cache
+        if matrix.ndim != 2 or matrix.shape != (len(shas), FEATURE_COUNT):
+            return
+        for sha, row in zip(shas, matrix):
+            self._vectors[str(sha)] = row
+        self.obs.add("npz_vectors_loaded", len(shas))
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write every cached vector to ``.npz`` (sha-keyed); returns the path.
+
+        Raises:
+            ValueError: if no path was given here or at construction.
+        """
+        target = Path(path) if path is not None else self._persist_path
+        if target is None:
+            raise ValueError("no persist path configured for PatchFeatureCache.save")
+        shas = sorted(self._vectors)
+        matrix = (
+            np.vstack([self._vectors[s] for s in shas])
+            if shas
+            else np.zeros((0, FEATURE_COUNT), dtype=np.float64)
+        )
+        target.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            target,
+            shas=np.array(shas, dtype="U40"),
+            matrix=matrix,
+            use_repo_context=np.array(self._use_context),
+        )
+        return target
+
+    # ---- extraction -------------------------------------------------------
 
     def _extractor_for(self, slug: str) -> FeatureExtractor:
         extractor = self._extractors.get(slug)
@@ -43,14 +149,54 @@ class PatchFeatureCache:
         if vec is None:
             label = self._world.label(sha)
             patch = self._world.patch_for(sha)
-            vec = self._extractor_for(label.repo_slug).extract(patch)
+            with self.obs.timer("extract"):
+                vec = self._extractor_for(label.repo_slug).extract(patch)
             self._vectors[sha] = vec
+            self.obs.add("vectors_extracted")
+        else:
+            self.obs.add("vector_cache_hits")
         return vec
 
-    def matrix(self, shas: list[str]) -> np.ndarray:
-        """Stack vectors for *shas* into an ``(N, 60)`` matrix."""
+    def _extract_parallel(self, missing: list[str], workers: int) -> bool:
+        """Extract *missing* in a process pool; False on any pool failure."""
+        # Enough chunks that stragglers rebalance, big enough to amortize IPC.
+        n_chunks = min(len(missing), workers * 4)
+        chunks = [list(c) for c in np.array_split(np.array(missing, dtype=object), n_chunks)]
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self._world, self._use_context),
+            ) as pool:
+                for pairs in pool.map(_extract_chunk, chunks):
+                    for sha, vec in pairs:
+                        self._vectors[sha] = vec
+        except Exception:
+            return False
+        self.obs.add("vectors_extracted", len(missing))
+        return True
+
+    def matrix(self, shas: list[str], workers: int | None = None) -> np.ndarray:
+        """Stack vectors for *shas* into an ``(N, 60)`` matrix.
+
+        Args:
+            shas: commits, in output row order (duplicates allowed).
+            workers: >1 extracts missing vectors in a process pool; ``None``
+                uses the cache's ``default_workers``.  Results are identical
+                to serial extraction.
+        """
         if not shas:
             return np.zeros((0, FEATURE_COUNT), dtype=np.float64)
+        workers = workers if workers is not None else self.default_workers
+        if workers is not None and workers > 1:
+            seen: set[str] = set()
+            missing = [
+                s for s in shas if s not in self._vectors and not (s in seen or seen.add(s))
+            ]
+            # Below ~2 chunks per worker the pool costs more than it saves.
+            if len(missing) >= 2 * workers:
+                with self.obs.timer("extract_parallel"):
+                    self._extract_parallel(missing, workers)
         return np.vstack([self.vector(s) for s in shas])
 
     def __len__(self) -> int:

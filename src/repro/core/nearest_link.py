@@ -74,31 +74,36 @@ def nearest_link_search(distance: np.ndarray) -> NearestLinkResult:
         AugmentationError: on bad shapes or ``M > N``.
     """
     d = _validate(distance)
-    m_count, _ = d.shape
+    m_count, n_count = d.shape
 
-    # Lines 1-3: per-row minimum and argmin.
-    u = d.min(axis=1).copy()
-    v = d.argmin(axis=1).copy()
+    # Lines 1-3: per-row minimum and argmin — one matrix pass (argmin) plus
+    # an M-element gather instead of separate min and argmin scans.
+    v_idx = d.argmin(axis=1)
+    u = np.take_along_axis(d, v_idx[:, None], axis=1).ravel()
+    v = v_idx.tolist()
 
     # Lines 4-5: output slots (0 in the pseudocode; -1 here since 0 is a
     # valid column index).
     links = np.full(m_count, -1, dtype=np.int64)
-    used = np.zeros(d.shape[1], dtype=bool)
-    total = 0.0
+    used = np.zeros(n_count, dtype=bool)
+    taken = bytearray(n_count)  # python-int mirror of `used` for the hot loop
+    scratch = np.empty(n_count)
 
-    # Lines 6-17.
-    for _ in range(m_count):
-        m0 = int(np.argmin(u))
-        n0 = int(v[m0])
-        if used[n0]:
+    # Lines 6-17.  The pseudocode pops argmin(u) and sets u[m0]=inf each
+    # iteration, but u is never otherwise written, so the pop sequence is
+    # exactly u ascending with ties by row index — one stable argsort
+    # replaces M argmin scans.
+    for m0 in np.argsort(u, kind="stable").tolist():
+        n0 = v[m0]
+        if taken[n0]:
             # Lines 10-15: rescan this row with used columns masked out.
-            row = d[m0].copy()
-            row[used] = np.inf
-            n0 = int(np.argmin(row))
+            np.copyto(scratch, d[m0])
+            scratch[used] = np.inf
+            n0 = int(np.argmin(scratch))
         links[m0] = n0
         used[n0] = True
-        total += float(d[m0, n0])
-        u[m0] = np.inf
+        taken[n0] = 1
+    total = float(d[np.arange(m_count), links].sum())
 
     return NearestLinkResult(links=links, total_distance=total)
 

@@ -77,5 +77,21 @@ class VerificationOracle:
         return decision
 
     def verify_many(self, shas: list[str]) -> np.ndarray:
-        """Vectorized :meth:`verify` over a candidate list."""
-        return np.array([self.verify(s) for s in shas], dtype=bool)
+        """Vectorized :meth:`verify` over a candidate list.
+
+        Draws the panel's random numbers as one block in the same stream
+        order as per-sha calls, so the verdicts (and any later draws) are
+        identical to looping over :meth:`verify`.
+        """
+        if not shas:
+            return np.empty(0, dtype=bool)
+        truths = np.fromiter(
+            (self._world.label(s).is_security for s in shas), dtype=bool, count=len(shas)
+        )
+        draws = self._rng.random((len(shas), self.n_annotators))
+        votes = (truths[:, None] ^ (draws < self.annotator_error_rate)).sum(axis=1)
+        decisions = votes * 2 > self.n_annotators
+        self.stats.candidates_reviewed += len(shas)
+        self.stats.labeled_security += int(decisions.sum())
+        self.stats.disagreements += int(((votes > 0) & (votes < self.n_annotators)).sum())
+        return decisions

@@ -7,10 +7,11 @@ nearest link search, and the Levenshtein primitives for features 49-54.
 
 from .extractor import FeatureExtractor, RepoContext, extract_feature_matrix, extract_features
 from .levenshtein import levenshtein, normalized_levenshtein
-from .normalize import MaxAbsWeighter, weighted_distance_matrix
+from .normalize import DistanceEngine, MaxAbsWeighter, weighted_distance_matrix
 from .vector import FEATURE_COUNT, FEATURE_NAMES, as_matrix, feature_index
 
 __all__ = [
+    "DistanceEngine",
     "FEATURE_COUNT",
     "FEATURE_NAMES",
     "FeatureExtractor",

@@ -1,0 +1,88 @@
+"""Lightweight observability: wall-time phases and monotonic counters.
+
+One :class:`ObsRegistry` is threaded through the hot paths — feature
+extraction (:class:`~repro.core.cache.PatchFeatureCache`), the incremental
+distance engine (:class:`~repro.features.normalize.DistanceEngine`), and the
+augmentation loop — so a CLI run or benchmark can answer "where did the time
+go" without a profiler.  The registry is additive-only and cheap: a timer is
+one ``perf_counter`` pair, a counter is one dict add, and an unused registry
+costs nothing to carry.
+
+Phase timer names in use: ``extract``, ``distance``, ``search``, ``verify``.
+Counter names in use: ``vectors_extracted``, ``vector_cache_hits``,
+``npz_vectors_loaded``, ``distance_cells_computed``,
+``distance_cells_reused``, ``distance_full_recomputes``,
+``distance_incremental_updates``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ObsRegistry"]
+
+
+class ObsRegistry:
+    """Accumulates named wall-time phases and integer counters."""
+
+    def __init__(self) -> None:
+        self._timers: dict[str, float] = {}
+        self._timer_calls: dict[str, int] = {}
+        self._counters: dict[str, int] = {}
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of the ``with`` body under *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._timers[name] = self._timers.get(name, 0.0) + elapsed
+            self._timer_calls[name] = self._timer_calls.get(name, 0) + 1
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter *name* by *amount*."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    @property
+    def timers(self) -> dict[str, float]:
+        """Accumulated seconds per phase (a copy)."""
+        return dict(self._timers)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Counter values (a copy)."""
+        return dict(self._counters)
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds for one phase (0.0 if never timed)."""
+        return self._timers.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Value of one counter (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def reset(self) -> None:
+        """Zero every timer and counter."""
+        self._timers.clear()
+        self._timer_calls.clear()
+        self._counters.clear()
+
+    def report(self) -> str:
+        """Human-readable phase/counter table."""
+        lines = []
+        if self._timers:
+            lines.append("phase timings:")
+            for name in sorted(self._timers):
+                lines.append(
+                    f"  {name:>28s}: {self._timers[name]:9.3f}s"
+                    f"  ({self._timer_calls[name]} calls)"
+                )
+        if self._counters:
+            lines.append("counters:")
+            for name in sorted(self._counters):
+                lines.append(f"  {name:>28s}: {self._counters[name]}")
+        return "\n".join(lines) if lines else "(no observations recorded)"

@@ -42,3 +42,65 @@ class TestPatchFeatureCache:
         cache = PatchFeatureCache(tiny_world)
         with pytest.raises(KeyError):
             cache.vector("f" * 40)
+
+
+class TestParallelExtraction:
+    def test_workers_match_serial(self, tiny_world):
+        shas = tiny_world.all_shas()[:60]
+        serial = PatchFeatureCache(tiny_world).matrix(shas)
+        parallel = PatchFeatureCache(tiny_world).matrix(shas, workers=2)
+        assert np.array_equal(serial, parallel)
+
+    def test_default_workers_used(self, tiny_world):
+        shas = tiny_world.all_shas()[:40]
+        cache = PatchFeatureCache(tiny_world, default_workers=2)
+        assert np.array_equal(
+            cache.matrix(shas), PatchFeatureCache(tiny_world).matrix(shas)
+        )
+
+    def test_small_batches_stay_serial(self, tiny_world):
+        # Below ~2 chunks per worker the pool is skipped; results identical.
+        shas = tiny_world.all_shas()[:3]
+        cache = PatchFeatureCache(tiny_world)
+        assert cache.matrix(shas, workers=8).shape == (3, FEATURE_COUNT)
+
+
+class TestNpzPersistence:
+    def test_round_trip(self, tiny_world, tmp_path):
+        shas = tiny_world.all_shas()[:25]
+        path = tmp_path / "vectors.npz"
+        cache = PatchFeatureCache(tiny_world, persist_path=path)
+        matrix = cache.matrix(shas)
+        cache.save()
+        assert path.exists()
+
+        reloaded = PatchFeatureCache(tiny_world, persist_path=path)
+        assert len(reloaded) == len(set(shas))
+        assert reloaded.obs.count("npz_vectors_loaded") == len(set(shas))
+        assert np.array_equal(reloaded.matrix(shas), matrix)
+        assert reloaded.obs.count("vectors_extracted") == 0
+
+    def test_save_without_path_raises(self, tiny_world):
+        with pytest.raises(ValueError):
+            PatchFeatureCache(tiny_world).save()
+
+    def test_save_to_explicit_path(self, tiny_world, tmp_path):
+        cache = PatchFeatureCache(tiny_world)
+        cache.vector(tiny_world.all_shas()[0])
+        target = cache.save(tmp_path / "explicit.npz")
+        assert target.exists()
+
+    def test_corrupt_file_is_cold_cache(self, tiny_world, tmp_path):
+        path = tmp_path / "vectors.npz"
+        path.write_bytes(b"not an npz archive")
+        cache = PatchFeatureCache(tiny_world, persist_path=path)
+        assert len(cache) == 0
+        assert cache.vector(tiny_world.all_shas()[0]).shape == (FEATURE_COUNT,)
+
+    def test_context_flag_mismatch_ignored(self, tiny_world, tmp_path):
+        path = tmp_path / "vectors.npz"
+        cache = PatchFeatureCache(tiny_world, use_repo_context=True, persist_path=path)
+        cache.vector(tiny_world.all_shas()[0])
+        cache.save()
+        other = PatchFeatureCache(tiny_world, use_repo_context=False, persist_path=path)
+        assert len(other) == 0  # contextless vectors differ; file must be ignored

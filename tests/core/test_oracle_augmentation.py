@@ -138,3 +138,92 @@ class TestSchedule:
     def test_empty_search_set_rejected(self):
         with pytest.raises(AugmentationError):
             SearchSet("empty", (), rounds=1)
+
+
+class TestIncrementalSchedule:
+    """incremental=True must be a pure optimization over the full rebuild."""
+
+    def _outcomes(self, tiny_world, cache, sets, oracle_seed):
+        results = []
+        for incremental in (True, False):
+            aug = DatasetAugmentation(
+                cache,
+                VerificationOracle(tiny_world, seed=oracle_seed),
+                incremental=incremental,
+            )
+            results.append(aug.run_schedule(tiny_world.nvd_shas(), sets))
+        return results
+
+    @pytest.mark.parametrize("oracle_seed", [0, 1, 2, 3])
+    def test_matches_full_rebuild_round_by_round(self, tiny_world, cache, oracle_seed):
+        pool = tuple(tiny_world.wild_shas()[:200])
+        sets = [SearchSet("Set I", pool, rounds=4)]
+        inc, full = self._outcomes(tiny_world, cache, sets, oracle_seed)
+        assert inc.rounds == full.rounds
+        assert inc.security_shas == full.security_shas
+        assert inc.non_security_shas == full.non_security_shas
+
+    def test_matches_full_rebuild_across_sets(self, tiny_world, cache):
+        wild = tiny_world.wild_shas()
+        sets = [
+            SearchSet("Set I", tuple(wild[:150]), rounds=2),
+            SearchSet("Set II", tuple(wild[150:350]), rounds=2),
+        ]
+        inc, full = self._outcomes(tiny_world, cache, sets, oracle_seed=5)
+        assert inc.rounds == full.rounds
+        assert inc.security_shas == full.security_shas
+
+    def test_ratio_threshold_parity(self, tiny_world, cache):
+        pool = tuple(tiny_world.wild_shas()[:200])
+        sets = [SearchSet("Set I", pool, rounds=5)]
+        outcomes = []
+        for incremental in (True, False):
+            aug = DatasetAugmentation(
+                cache,
+                VerificationOracle(tiny_world, seed=6),
+                ratio_threshold=0.5,
+                incremental=incremental,
+            )
+            outcomes.append(aug.run_schedule(tiny_world.nvd_shas(), sets))
+        assert outcomes[0].rounds == outcomes[1].rounds
+
+    def test_counts_cells_reused(self, tiny_world, cache):
+        from repro.obs import ObsRegistry
+
+        obs = ObsRegistry()
+        aug = DatasetAugmentation(
+            cache, VerificationOracle(tiny_world, seed=7), incremental=True, obs=obs
+        )
+        pool = tuple(tiny_world.wild_shas()[:200])
+        aug.run_schedule(tiny_world.nvd_shas(), [SearchSet("Set I", pool, rounds=3)])
+        assert obs.count("distance_full_recomputes") >= 1
+        total = obs.count("distance_incremental_updates") + obs.count(
+            "distance_full_recomputes"
+        )
+        assert total == 3  # one distance build per round, however it happened
+        assert obs.seconds("search") > 0.0
+        assert obs.seconds("verify") > 0.0
+
+
+class TestEmptySideErrors:
+    def test_empty_security_side_reports_counts(self, tiny_world, cache):
+        aug = DatasetAugmentation(cache, VerificationOracle(tiny_world))
+        pool = tiny_world.wild_shas()[:10]
+        with pytest.raises(AugmentationError) as err:
+            aug.run_round([], pool)
+        assert "0 security shas" in str(err.value)
+        assert "10 pool shas" in str(err.value)
+
+    def test_empty_pool_side_reports_counts(self, tiny_world, cache):
+        aug = DatasetAugmentation(cache, VerificationOracle(tiny_world))
+        seed = tiny_world.nvd_shas()[:4]
+        with pytest.raises(AugmentationError) as err:
+            aug.run_round(seed, [])
+        assert "4 security shas" in str(err.value)
+        assert "0 pool shas" in str(err.value)
+
+    def test_schedule_with_empty_seed_raises_augmentation_error(self, tiny_world, cache):
+        aug = DatasetAugmentation(cache, VerificationOracle(tiny_world))
+        pool = tuple(tiny_world.wild_shas()[:20])
+        with pytest.raises(AugmentationError):
+            aug.run_schedule([], [SearchSet("Set I", pool, rounds=1)])

@@ -1,21 +1,32 @@
 """Smoke tests: every example script must run cleanly end to end."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO_ROOT / "examples"
 
 
 def run_example(name: str, args: list[str], tmp_path) -> str:
+    # The examples import repro from a bare checkout; the subprocess doesn't
+    # inherit pytest's import path, so put src/ on PYTHONPATH explicitly.
+    src = str(REPO_ROOT / "src")
+    existing = os.environ.get("PYTHONPATH")
+    env = {
+        **os.environ,
+        "PYTHONPATH": f"{src}{os.pathsep}{existing}" if existing else src,
+    }
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=420,
         cwd=tmp_path,
+        env=env,
     )
     assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
     return proc.stdout

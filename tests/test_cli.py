@@ -109,3 +109,30 @@ class TestBuildAndStats:
         stats_out = capsys.readouterr().out
         assert "security patch composition" in stats_out
         assert "total" in stats_out
+
+    def test_build_with_feature_cache_workers_and_stats(self, tmp_path, capsys):
+        out_path = tmp_path / "db.jsonl"
+        npz_path = tmp_path / "vectors.npz"
+        assert (
+            main(
+                [
+                    "build",
+                    str(out_path),
+                    "--scale",
+                    "tiny",
+                    "--no-synthetic",
+                    "--workers",
+                    "2",
+                    "--feature-cache",
+                    str(npz_path),
+                    "--stats",
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert out_path.exists()
+        assert npz_path.exists()
+        assert "persisted" in err
+        assert "phase timings:" in err
+        assert "vectors_extracted" in err

@@ -1,0 +1,67 @@
+"""Tests for the observability registry."""
+
+import time
+
+from repro.obs import ObsRegistry
+
+
+class TestObsRegistry:
+    def test_timer_accumulates(self):
+        obs = ObsRegistry()
+        for _ in range(3):
+            with obs.timer("phase"):
+                time.sleep(0.001)
+        assert obs.seconds("phase") >= 0.003
+        assert "3 calls" in obs.report()
+
+    def test_timer_records_on_exception(self):
+        obs = ObsRegistry()
+        try:
+            with obs.timer("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert obs.seconds("boom") > 0.0
+
+    def test_counters(self):
+        obs = ObsRegistry()
+        obs.add("cells")
+        obs.add("cells", 41)
+        assert obs.count("cells") == 42
+        assert obs.counters == {"cells": 42}
+
+    def test_missing_names_are_zero(self):
+        obs = ObsRegistry()
+        assert obs.seconds("nope") == 0.0
+        assert obs.count("nope") == 0
+
+    def test_reset(self):
+        obs = ObsRegistry()
+        obs.add("x")
+        with obs.timer("t"):
+            pass
+        obs.reset()
+        assert obs.counters == {}
+        assert obs.timers == {}
+
+    def test_report_empty(self):
+        assert "no observations" in ObsRegistry().report()
+
+    def test_report_sections(self):
+        obs = ObsRegistry()
+        obs.add("vectors_extracted", 7)
+        with obs.timer("distance"):
+            pass
+        report = obs.report()
+        assert "phase timings:" in report
+        assert "counters:" in report
+        assert "vectors_extracted" in report
+        assert "distance" in report
+
+    def test_copies_are_snapshots(self):
+        obs = ObsRegistry()
+        obs.add("n")
+        snapshot = obs.counters
+        obs.add("n")
+        assert snapshot == {"n": 1}
+        assert obs.count("n") == 2
