@@ -30,7 +30,7 @@ from ..core.baselines import (
     pseudo_label_candidates,
     uncertainty_candidates,
 )
-from ..core.cache import PatchFeatureCache
+from ..core.cache import PatchFeatureCache, TokenSequenceCache
 from ..core.categorize import categorize_patch
 from ..core.oracle import VerificationOracle
 from ..core.patchdb import PatchDB, PatchRecord
@@ -40,6 +40,7 @@ from ..ml import (
     RandomForestClassifier,
     RNNClassifier,
     classification_report,
+    fit_many,
     patch_token_sequence,
     train_test_split,
 )
@@ -112,19 +113,32 @@ class ExperimentWorld:
         seed: world RNG seed.
         feature_cache: optional ``.npz`` path; vectors persist across
             processes (see :class:`PatchFeatureCache`).
-        workers: default process count for parallel feature extraction.
+        token_cache: optional pickle path; RNN token sequences persist
+            across processes (see :class:`TokenSequenceCache`).
+        workers: default process count for parallel feature extraction
+            and token-cache warm-up.
+        ml_workers: default for the ``ml_workers`` argument of
+            :func:`run_table3`/:func:`run_table4`/:func:`run_table6` —
+            enables the cached, parallel evaluation engine.
     """
+
+    #: Bumped when the pickled layout changes; stale disk caches rebuild.
+    _CACHE_REV = 2
 
     def __init__(
         self,
         scale: ExperimentScale,
         seed: int = 2021,
         feature_cache: str | Path | None = None,
+        token_cache: str | Path | None = None,
         workers: int | None = None,
+        ml_workers: int | None = None,
     ) -> None:
         self.scale = scale
         self.seed = seed
         self.obs = ObsRegistry()
+        self.ml_workers = ml_workers
+        self._cache_rev = self._CACHE_REV
         self.world: World = build_world(
             WorldConfig(
                 n_commits=scale.n_commits,
@@ -140,6 +154,12 @@ class ExperimentWorld:
         self.cache = PatchFeatureCache(
             self.world,
             persist_path=feature_cache,
+            obs=self.obs,
+            default_workers=workers,
+        )
+        self.tokens = TokenSequenceCache(
+            self.world,
+            persist_path=token_cache,
             obs=self.obs,
             default_workers=workers,
         )
@@ -188,7 +208,7 @@ class ExperimentWorld:
             try:
                 with path.open("rb") as fh:
                     loaded = pickle.load(fh)
-                if isinstance(loaded, cls):
+                if isinstance(loaded, cls) and getattr(loaded, "_cache_rev", 0) == cls._CACHE_REV:
                     return loaded
             except Exception:
                 path.unlink(missing_ok=True)
@@ -226,8 +246,19 @@ def run_table2(ew: ExperimentWorld, seed: int = 0) -> AugmentationOutcome:
 # ---------------------------------------------------------------------------
 
 
-def run_table3(ew: ExperimentWorld, seed: int = 0) -> list[BaselineResult]:
-    """Compare brute force / pseudo / uncertainty / nearest link (Table III)."""
+def run_table3(
+    ew: ExperimentWorld, seed: int = 0, ml_workers: int | None = None
+) -> list[BaselineResult]:
+    """Compare brute force / pseudo / uncertainty / nearest link (Table III).
+
+    Args:
+        ew: the experiment world.
+        seed: protocol RNG seed.
+        ml_workers: fit the baselines' classifiers in a process pool of
+            this size (``None`` inherits ``ew.ml_workers``); candidate
+            sets are identical either way.
+    """
+    ml_workers = ml_workers if ml_workers is not None else ew.ml_workers
     pool = ew.wild_pool(ew.scale.set23_size, seed=seed + 10)
     seed_sec = ew.nvd_seed_shas
     seed_non = ew.ground_truth_nonsec(2 * len(seed_sec), seed=seed)
@@ -237,11 +268,15 @@ def run_table3(ew: ExperimentWorld, seed: int = 0) -> list[BaselineResult]:
         ("Brute Force Search", brute_force_candidates(pool)),
         (
             "Pseudo Labeling",
-            pseudo_label_candidates(ew.cache, seed_sec, seed_non, pool, seed=seed),
+            pseudo_label_candidates(
+                ew.cache, seed_sec, seed_non, pool, seed=seed, workers=ml_workers
+            ),
         ),
         (
             "Uncertainty-based Labeling",
-            uncertainty_candidates(ew.cache, seed_sec, seed_non, pool, seed=seed),
+            uncertainty_candidates(
+                ew.cache, seed_sec, seed_non, pool, seed=seed, workers=ml_workers
+            ),
         ),
         (
             "Nearest Link Search (ours)",
@@ -285,53 +320,68 @@ def _effective_epochs(base: int, n_train: int) -> int:
     return max(base, min(40, (4000 + n_train - 1) // max(n_train, 1)))
 
 
-def _train_eval_rnn(
-    train: list[tuple[list[str], int]],
-    test: list[tuple[list[str], int]],
-    epochs: int,
-    seed: int,
-    adaptive: bool = True,
-) -> tuple[float, float]:
-    """Train the RNN on (sequence, label) pairs; return (precision, recall)."""
-    eff = _effective_epochs(epochs, len(train)) if adaptive else epochs
-    rnn = RNNClassifier(epochs=eff, batch_size=32, seed=seed)
-    X_train = [seq for seq, _ in train]
-    y_train = np.array([lab for _, lab in train])
-    rnn.fit(X_train, y_train)
-    X_test = [seq for seq, _ in test]
-    y_test = np.array([lab for _, lab in test])
-    report = classification_report(y_test, rnn.predict(X_test))
-    return report.precision, report.recall
-
-
-def _sequences(ew: ExperimentWorld, shas: list[str]) -> list[list[str]]:
+def _sequences(ew: ExperimentWorld, shas: list[str], engine: bool = False) -> list[list[str]]:
+    if engine:
+        return ew.tokens.sequences(shas)
     return [patch_token_sequence(ew.world.patch_for(s)) for s in shas]
 
 
+@dataclass(slots=True)
+class _Table4Fit:
+    """One of Table IV's independent RNN fits, staged for :func:`fit_many`."""
+
+    dataset: int  # index into the dataset list
+    variant: str  # "nat" | "syn"
+    rnn: RNNClassifier
+    train_seqs: list[list[str]]
+    y_train: np.ndarray
+    test_seqs: list[list[str]]
+    y_test: np.ndarray
+
+
 def run_table4(
-    ew: ExperimentWorld, seed: int = 0, max_per_patch: int = 3, n_seeds: int = 4
+    ew: ExperimentWorld,
+    seed: int = 0,
+    max_per_patch: int = 3,
+    n_seeds: int = 4,
+    ml_workers: int | None = None,
 ) -> Table4Result:
     """Security patch identification with and without synthetic data (Table IV).
 
     The scaled-down test splits are small, so precision/recall are averaged
     over *n_seeds* independent split+training runs (the paper's corpus is
-    ~25x larger, making a single run stable there).
+    ~25x larger, making a single run stable there); the reported synthetic
+    counts are likewise the per-seed mean.
+
+    The ``2 datasets x n_seeds x {natural, synthetic}`` RNN fits are
+    mutually independent, so with *ml_workers* set (or inherited from
+    ``ew.ml_workers``) they run through :func:`repro.ml.fit_many` with
+    token sequences served from ``ew.tokens`` and per-origin synthesis
+    memoized — same rows as the serial path, bit for bit.
     """
+    ml_workers = ml_workers if ml_workers is not None else ew.ml_workers
+    engine = ml_workers is not None
     epochs = ew.scale.rnn_epochs
-    synth = PatchSynthesizer(ew.world, max_per_patch=max_per_patch, seed=seed)
+    synth = PatchSynthesizer(ew.world, max_per_patch=max_per_patch, seed=seed, memoize=engine)
     result = Table4Result()
 
     nvd_sec = ew.nvd_seed_shas
     wild_sec = [s for s in ew.world.security_shas() if s not in set(nvd_sec)]
     nonsec = ew.ground_truth_nonsec(2 * (len(nvd_sec) + len(wild_sec)), seed=seed)
 
-    for dataset_name, sec_shas in (("NVD", nvd_sec), ("NVD+Wild", nvd_sec + wild_sec)):
+    def syn_sequence(patch) -> list[str]:
+        if engine:
+            return ew.tokens.sequence_of(patch)
+        return patch_token_sequence(patch)
+
+    # ---- stage every independent fit --------------------------------------
+    datasets = [("NVD", nvd_sec), ("NVD+Wild", nvd_sec + wild_sec)]
+    fits: list[_Table4Fit] = []
+    synth_totals = [[0, 0] for _ in datasets]  # summed (sec, non) over seeds
+    for d_idx, (dataset_name, sec_shas) in enumerate(datasets):
         non_shas = nonsec[: 2 * len(sec_shas)]
         labeled = [(s, 1) for s in sec_shas] + [(s, 0) for s in non_shas]
         y = np.array([lab for _, lab in labeled])
-        nat_metrics = np.zeros(2)
-        syn_metrics = np.zeros(2)
-        n_sec = n_non = 0
         for k in range(n_seeds):
             split_seed = seed + 17 * k
             train_idx, test_idx = train_test_split(
@@ -340,28 +390,65 @@ def run_table4(
             train_shas = [labeled[i] for i in train_idx]
             test_shas = [labeled[i] for i in test_idx]
 
-            train = [(patch_token_sequence(ew.world.patch_for(s)), lab) for s, lab in train_shas]
-            test = [(patch_token_sequence(ew.world.patch_for(s)), lab) for s, lab in test_shas]
+            train_seqs = _sequences(ew, [s for s, _ in train_shas], engine)
+            test_seqs = _sequences(ew, [s for s, _ in test_shas], engine)
+            y_train = np.array([lab for _, lab in train_shas])
+            y_test = np.array([lab for _, lab in test_shas])
             # Fix the epoch budget from the *natural* train size so the with-
             # and without-synthetic rows differ only in training data.
-            eff_epochs = _effective_epochs(epochs, len(train))
-            nat_metrics += _train_eval_rnn(train, test, eff_epochs, split_seed, adaptive=False)
+            eff_epochs = _effective_epochs(epochs, len(train_shas))
+            fits.append(
+                _Table4Fit(
+                    d_idx,
+                    "nat",
+                    RNNClassifier(epochs=eff_epochs, batch_size=32, seed=split_seed),
+                    train_seqs,
+                    y_train,
+                    test_seqs,
+                    y_test,
+                )
+            )
 
             # Synthesize from the *training* shas only (as the paper stresses).
-            synth_seqs: list[tuple[list[str], int]] = []
+            syn_seqs: list[list[str]] = []
+            syn_labels: list[int] = []
             for s, lab in train_shas:
                 for sp in synth.synthesize(s):
-                    synth_seqs.append((patch_token_sequence(sp.patch), lab))
-            n_sec = sum(1 for _, lab in synth_seqs if lab == 1)
-            n_non = len(synth_seqs) - n_sec
-            syn_metrics += _train_eval_rnn(
-                train + synth_seqs, test, eff_epochs, split_seed, adaptive=False
+                    syn_seqs.append(syn_sequence(sp.patch))
+                    syn_labels.append(lab)
+            synth_totals[d_idx][0] += sum(1 for lab in syn_labels if lab == 1)
+            synth_totals[d_idx][1] += sum(1 for lab in syn_labels if lab == 0)
+            fits.append(
+                _Table4Fit(
+                    d_idx,
+                    "syn",
+                    RNNClassifier(epochs=eff_epochs, batch_size=32, seed=split_seed),
+                    train_seqs + syn_seqs,
+                    np.concatenate([y_train, np.array(syn_labels, dtype=y_train.dtype)]),
+                    test_seqs,
+                    y_test,
+                )
             )
-        nat_metrics /= n_seeds
-        syn_metrics /= n_seeds
-        result.rows.append((dataset_name, "-", float(nat_metrics[0]), float(nat_metrics[1])))
+
+    # ---- fit (serially or in a process pool), then evaluate ----------------
+    fitted = fit_many(
+        [(f.rnn, f.train_seqs, f.y_train) for f in fits],
+        workers=ml_workers,
+        obs=ew.obs,
+    )
+    metrics = [{"nat": np.zeros(2), "syn": np.zeros(2)} for _ in datasets]
+    for f, rnn in zip(fits, fitted):
+        report = classification_report(f.y_test, rnn.predict(f.test_seqs))
+        metrics[f.dataset][f.variant] += (report.precision, report.recall)
+
+    for d_idx, (dataset_name, _) in enumerate(datasets):
+        nat = metrics[d_idx]["nat"] / n_seeds
+        syn = metrics[d_idx]["syn"] / n_seeds
+        n_sec = int(round(synth_totals[d_idx][0] / n_seeds))
+        n_non = int(round(synth_totals[d_idx][1] / n_seeds))
+        result.rows.append((dataset_name, "-", float(nat[0]), float(nat[1])))
         result.rows.append(
-            (dataset_name, f"{n_sec} Sec + {n_non} NonSec", float(syn_metrics[0]), float(syn_metrics[1]))
+            (dataset_name, f"{n_sec} Sec + {n_non} NonSec", float(syn[0]), float(syn[1]))
         )
     return result
 
@@ -463,8 +550,18 @@ class Table6Result:
         return "\n".join(out)
 
 
-def run_table6(ew: ExperimentWorld, seed: int = 0) -> Table6Result:
-    """Train RF/RNN on NVD vs NVD+wild; test on NVD and wild (Table VI)."""
+def run_table6(
+    ew: ExperimentWorld, seed: int = 0, ml_workers: int | None = None
+) -> Table6Result:
+    """Train RF/RNN on NVD vs NVD+wild; test on NVD and wild (Table VI).
+
+    The four fits (RF and RNN per train set) are independent; with
+    *ml_workers* set (or inherited from ``ew.ml_workers``) they run
+    concurrently through :func:`repro.ml.fit_many` with token sequences
+    served from ``ew.tokens`` — rows are bit-identical to the serial path.
+    """
+    ml_workers = ml_workers if ml_workers is not None else ew.ml_workers
+    engine = ml_workers is not None
     epochs = ew.scale.rnn_epochs
     nvd_sec = ew.nvd_seed_shas
     wild_sec = [s for s in ew.world.security_shas() if s not in set(nvd_sec)]
@@ -484,17 +581,23 @@ def run_table6(ew: ExperimentWorld, seed: int = 0) -> Table6Result:
     train_sets = {"NVD": nvd_train, "NVD+Wild": nvd_train + wild_train}
     test_sets = {"NVD": nvd_test, "Wild": wild_test}
 
-    result = Table6Result()
+    # Stage the four independent fits: (RF, RNN) per train set.
+    fits = []
     for train_name, train in train_sets.items():
         X_feat = ew.cache.matrix([s for s, _ in train])
         y_train = np.array([lab for _, lab in train])
-        rf = RandomForestClassifier(n_estimators=40, max_depth=14, seed=seed)
-        rf.fit(X_feat, y_train)
+        rf = RandomForestClassifier(n_estimators=40, max_depth=14, seed=seed, obs=ew.obs)
         rnn = RNNClassifier(epochs=_effective_epochs(epochs, len(train)), batch_size=32, seed=seed)
-        rnn.fit([patch_token_sequence(ew.world.patch_for(s)) for s, _ in train], y_train)
+        fits.append((rf, X_feat, y_train))
+        fits.append((rnn, _sequences(ew, [s for s, _ in train], engine), y_train))
+    fitted = fit_many(fits, workers=ml_workers, obs=ew.obs)
+
+    result = Table6Result()
+    for i, train_name in enumerate(train_sets):
+        rf, rnn = fitted[2 * i], fitted[2 * i + 1]
         for algo, predict in (
             ("Random Forest", lambda shas: rf.predict(ew.cache.matrix(shas))),
-            ("RNN", lambda shas: rnn.predict(_sequences(ew, shas))),
+            ("RNN", lambda shas: rnn.predict(_sequences(ew, shas, engine))),
         ):
             for test_name, test in test_sets.items():
                 shas = [s for s, _ in test]

@@ -3,6 +3,7 @@
 Commands:
 
 * ``build``     — run the full construction pipeline, write a PatchDB JSONL.
+* ``evaluate``  — run the Table III/IV/VI evaluation suite at a scale.
 * ``stats``     — summarize an existing PatchDB JSONL (counts, composition).
 * ``features``  — print the Table I feature vector of a ``.patch`` file.
 * ``categorize``— print the Table V pattern type of a ``.patch`` file.
@@ -18,7 +19,16 @@ import argparse
 import sys
 from pathlib import Path
 
-from .analysis.experiments import MEDIUM, SMALL, TINY, ExperimentWorld, build_patchdb
+from .analysis.experiments import (
+    MEDIUM,
+    SMALL,
+    TINY,
+    ExperimentWorld,
+    build_patchdb,
+    run_table3,
+    run_table4,
+    run_table6,
+)
 from .core.categorize import categorize_patch
 from .core.patchdb import PatchDB
 from .corpus.vulnpatterns import PATTERN_NAMES
@@ -45,6 +55,43 @@ def _cmd_build(args: argparse.Namespace) -> int:
     if args.stats:
         print(f"\n{ew.obs.report()}", file=sys.stderr)
     print(f"wrote {len(db)} records to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    tables = [t.strip() for t in args.tables.split(",") if t.strip()]
+    unknown = [t for t in tables if t not in ("3", "4", "6")]
+    if unknown:
+        print(f"unknown table(s): {', '.join(unknown)} (choose from 3,4,6)", file=sys.stderr)
+        return 2
+    scale = _SCALES[args.scale]
+    print(f"building {scale.name} world (seed {args.seed})...", file=sys.stderr)
+    ew = ExperimentWorld(
+        scale,
+        seed=args.seed,
+        feature_cache=args.feature_cache,
+        token_cache=args.token_cache,
+        workers=args.workers,
+        ml_workers=args.ml_workers,
+    )
+    if "3" in tables:
+        print("Table III — augmentation methods")
+        for row in run_table3(ew):
+            print(row.row())
+    if "4" in tables:
+        print("\nTable IV — synthetic patches")
+        print(run_table4(ew).table())
+    if "6" in tables:
+        print("\nTable VI — cross-source generalization")
+        print(run_table6(ew).table())
+    if args.feature_cache:
+        path = ew.cache.save()
+        print(f"persisted {len(ew.cache)} feature vectors to {path}", file=sys.stderr)
+    if args.token_cache:
+        path = ew.tokens.save()
+        print(f"persisted {len(ew.tokens)} token sequences to {path}", file=sys.stderr)
+    if args.stats:
+        print(f"\n{ew.obs.report()}", file=sys.stderr)
     return 0
 
 
@@ -135,6 +182,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print phase timings and counters to stderr"
     )
     p_build.set_defaults(func=_cmd_build)
+
+    p_eval = sub.add_parser("evaluate", help="run the Table III/IV/VI evaluation suite")
+    p_eval.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    p_eval.add_argument("--seed", type=int, default=2021)
+    p_eval.add_argument(
+        "--tables", default="3,4,6", help="comma-separated subset of 3,4,6 (default: all)"
+    )
+    p_eval.add_argument(
+        "--ml-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="train classifiers through the parallel engine with N processes; "
+        "results are bit-identical to the serial default",
+    )
+    p_eval.add_argument(
+        "--workers", type=int, default=None, help="parallel feature-extraction/tokenization processes"
+    )
+    p_eval.add_argument(
+        "--feature-cache",
+        default=None,
+        metavar="NPZ",
+        help="persist/reuse feature vectors at this .npz path",
+    )
+    p_eval.add_argument(
+        "--token-cache",
+        default=None,
+        metavar="PKL",
+        help="persist/reuse RNN token sequences at this pickle path",
+    )
+    p_eval.add_argument(
+        "--stats", action="store_true", help="print phase timings and counters to stderr"
+    )
+    p_eval.set_defaults(func=_cmd_evaluate)
 
     p_stats = sub.add_parser("stats", help="summarize a PatchDB JSONL")
     p_stats.add_argument("patchdb", help="PatchDB JSONL path")

@@ -14,7 +14,7 @@ from .baselines import (
     pseudo_label_candidates,
     uncertainty_candidates,
 )
-from .cache import PatchFeatureCache
+from .cache import PatchFeatureCache, TokenSequenceCache
 from .categorize import categorize_many, categorize_patch
 from .nearest_link import NearestLinkResult, exact_assignment, link_distances, nearest_link_search
 from .oracle import VerificationOracle, VerificationStats
@@ -31,6 +31,7 @@ __all__ = [
     "RoundResult",
     "SOURCES",
     "SearchSet",
+    "TokenSequenceCache",
     "VerificationOracle",
     "VerificationStats",
     "brute_force_candidates",

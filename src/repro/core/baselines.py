@@ -25,7 +25,7 @@ import numpy as np
 
 from ..errors import AugmentationError
 from ..features.normalize import weighted_distance_matrix
-from ..ml import RandomForestClassifier, weka_ensemble
+from ..ml import RandomForestClassifier, fit_many, weka_ensemble
 from ..ml.base import Classifier, seeded_rng
 from ..ml.metrics import proportion_confidence_interval
 from .cache import PatchFeatureCache
@@ -76,8 +76,13 @@ def pseudo_label_candidates(
     n_candidates: int | None = None,
     model: Classifier | None = None,
     seed: int = 0,
+    workers: int | None = None,
 ) -> list[str]:
-    """Pseudo labeling: top-confidence positives of a single model."""
+    """Pseudo labeling: top-confidence positives of a single model.
+
+    With *workers*, the default Random Forest fits its trees in a process
+    pool (``n_jobs``); candidates are identical to the serial fit.
+    """
     if not seed_security or not seed_non_security:
         raise AugmentationError("pseudo labeling needs both seed classes")
     n_candidates = n_candidates if n_candidates is not None else len(seed_security)
@@ -85,8 +90,11 @@ def pseudo_label_candidates(
     y = np.concatenate(
         [np.ones(len(seed_security), dtype=np.int64), np.zeros(len(seed_non_security), dtype=np.int64)]
     )
-    clf = model if model is not None else RandomForestClassifier(n_estimators=40, max_depth=14, seed=seed)
-    clf.fit(X, y)
+    clf = model if model is not None else RandomForestClassifier(
+        n_estimators=40, max_depth=14, seed=seed, n_jobs=workers, obs=cache.obs
+    )
+    with cache.obs.timer("fit"):
+        clf.fit(X, y)
     scores = clf.decision_scores(cache.matrix(pool))
     ranked = np.argsort(-scores, kind="stable")[:n_candidates]
     return [pool[int(i)] for i in ranked]
@@ -99,8 +107,15 @@ def uncertainty_candidates(
     pool: list[str],
     classifiers: list[Classifier] | None = None,
     seed: int = 0,
+    workers: int | None = None,
 ) -> list[str]:
-    """Uncertainty-based labeling: unanimous consensus of ten classifiers."""
+    """Uncertainty-based labeling: unanimous consensus of ten classifiers.
+
+    With *workers*, the ten independent fits run through
+    :func:`repro.ml.fit_many` in a process pool.  Candidates are identical
+    to the serial loop (each classifier owns its RNG); the serial loop
+    additionally short-circuits once the consensus is provably empty.
+    """
     if not seed_security or not seed_non_security:
         raise AugmentationError("uncertainty labeling needs both seed classes")
     X = np.vstack([cache.matrix(seed_security), cache.matrix(seed_non_security)])
@@ -110,11 +125,17 @@ def uncertainty_candidates(
     pool_X = cache.matrix(pool)
     ensemble = classifiers if classifiers is not None else weka_ensemble(seed=seed)
     consensus = np.ones(len(pool), dtype=bool)
-    for clf in ensemble:
-        clf.fit(X, y)
-        consensus &= clf.predict(pool_X) == 1
-        if not consensus.any():
-            break
+    if workers is not None and workers > 1:
+        fitted = fit_many([(clf, X, y) for clf in ensemble], workers=workers, obs=cache.obs)
+        for clf in fitted:
+            consensus &= clf.predict(pool_X) == 1
+    else:
+        for clf in ensemble:
+            with cache.obs.timer("fit"):
+                clf.fit(X, y)
+            consensus &= clf.predict(pool_X) == 1
+            if not consensus.any():
+                break
     return [pool[int(i)] for i in np.flatnonzero(consensus)]
 
 

@@ -1,9 +1,12 @@
-"""Feature-vector caching over a world.
+"""Feature-vector and token-sequence caching over a world.
 
-Every experiment consumes the same Table I features for the same commits;
-this cache computes each sha's vector once and assembles matrices on
-demand.  It is deliberately tied to shas (not Patch objects) so the
-augmentation loop, baselines, and quality experiments share one cache.
+Every experiment consumes the same Table I features and the same RNN token
+sequences for the same commits; these caches compute each sha's
+representation once and assemble matrices/sequence lists on demand.
+:class:`PatchFeatureCache` is deliberately tied to shas (not Patch objects)
+so the augmentation loop, baselines, and quality experiments share one
+cache; :class:`TokenSequenceCache` additionally memoizes patches that live
+outside the world (synthetic patches) by their deterministic shas.
 
 Two scale features sit on top of the in-memory map:
 
@@ -22,6 +25,7 @@ Two scale features sit on top of the in-memory map:
 from __future__ import annotations
 
 import concurrent.futures
+import pickle
 from pathlib import Path
 
 import numpy as np
@@ -29,9 +33,11 @@ import numpy as np
 from ..corpus.world import World
 from ..features.extractor import FeatureExtractor, RepoContext
 from ..features.vector import FEATURE_COUNT
+from ..ml.tokenizer import patch_token_sequence
 from ..obs import ObsRegistry
+from ..patch.model import Patch
 
-__all__ = ["PatchFeatureCache"]
+__all__ = ["PatchFeatureCache", "TokenSequenceCache"]
 
 # Per-process state for pool workers: (world, use_repo_context, extractors).
 _WORKER_STATE: tuple[World, bool, dict] | None = None
@@ -201,3 +207,170 @@ class PatchFeatureCache:
 
     def __len__(self) -> int:
         return len(self._vectors)
+
+
+# Per-process state for token pool workers: (world, include_context).
+_TOKEN_WORKER_STATE: tuple[World, bool] | None = None
+
+
+def _init_token_worker(world: World, include_context: bool) -> None:
+    global _TOKEN_WORKER_STATE
+    _TOKEN_WORKER_STATE = (world, include_context)
+
+
+def _tokenize_chunk(shas: list[str]) -> list[tuple[str, list[str]]]:
+    assert _TOKEN_WORKER_STATE is not None
+    world, include_context = _TOKEN_WORKER_STATE
+    return [(s, patch_token_sequence(world.patch_for(s), include_context)) for s in shas]
+
+
+class TokenSequenceCache:
+    """Lazily-computed sha → RNN token-sequence map for one world.
+
+    Tokenization is a pure function of the patch, so the cache is an exact
+    optimization: Tables IV and VI re-read the same commits across seeds,
+    datasets, and train/test roles, and each is lexed once here instead of
+    once per use.  Synthetic patches (which are not world commits but carry
+    deterministic shas) go through :meth:`sequence_of`.
+
+    Args:
+        world: the world whose commits are cached.
+        include_context: tokenize context lines too (off, like the paper).
+        persist_path: optional pickle file to preload from (if present)
+            and to write via :meth:`save`.  A corrupt or mismatched file is
+            treated as a cold cache.
+        obs: observability registry; a private one is created if omitted.
+        default_workers: default process count for :meth:`sequences` warm-up.
+    """
+
+    _FORMAT = "repro-token-cache-v1"
+
+    def __init__(
+        self,
+        world: World,
+        include_context: bool = False,
+        persist_path: str | Path | None = None,
+        obs: ObsRegistry | None = None,
+        default_workers: int | None = None,
+    ) -> None:
+        self._world = world
+        self._include_context = include_context
+        self._sequences: dict[str, list[str]] = {}
+        self._persist_path = Path(persist_path) if persist_path is not None else None
+        self.obs = obs if obs is not None else ObsRegistry()
+        self.default_workers = default_workers
+        if self._persist_path is not None and self._persist_path.exists():
+            self._load(self._persist_path)
+
+    # ---- persistence ------------------------------------------------------
+
+    def _load(self, path: Path) -> None:
+        try:
+            with path.open("rb") as fh:
+                data = pickle.load(fh)
+            if (
+                not isinstance(data, dict)
+                or data.get("format") != self._FORMAT
+                or data.get("include_context") != self._include_context
+            ):
+                return
+            sequences = data["sequences"]
+            if not isinstance(sequences, dict):
+                return
+        except Exception:
+            return  # a corrupt cache file is just a cold cache
+        self._sequences.update(sequences)
+        self.obs.add("token_sequences_loaded", len(sequences))
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write every cached sequence to a pickle file; returns the path.
+
+        Raises:
+            ValueError: if no path was given here or at construction.
+        """
+        target = Path(path) if path is not None else self._persist_path
+        if target is None:
+            raise ValueError("no persist path configured for TokenSequenceCache.save")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": self._FORMAT,
+            "include_context": self._include_context,
+            "sequences": self._sequences,
+        }
+        with target.open("wb") as fh:
+            pickle.dump(payload, fh)
+        return target
+
+    # ---- tokenization -----------------------------------------------------
+
+    def sequence(self, sha: str) -> list[str]:
+        """The token sequence for one world commit."""
+        seq = self._sequences.get(sha)
+        if seq is None:
+            patch = self._world.patch_for(sha)
+            with self.obs.timer("tokenize"):
+                seq = patch_token_sequence(patch, self._include_context)
+            self._sequences[sha] = seq
+            self.obs.add("token_cache_misses")
+        else:
+            self.obs.add("token_cache_hits")
+        return seq
+
+    def sequence_of(self, patch: Patch) -> list[str]:
+        """The token sequence for an explicit patch, memoized by its sha.
+
+        Synthetic patches are not world commits, but their shas are
+        deterministic functions of (origin, variant, side, site), so the
+        same sha always denotes the same patch text.
+        """
+        seq = self._sequences.get(patch.sha)
+        if seq is None:
+            with self.obs.timer("tokenize"):
+                seq = patch_token_sequence(patch, self._include_context)
+            self._sequences[patch.sha] = seq
+            self.obs.add("token_cache_misses")
+        else:
+            self.obs.add("token_cache_hits")
+        return seq
+
+    def sequences(self, shas: list[str], workers: int | None = None) -> list[list[str]]:
+        """Token sequences for *shas*, in input order (duplicates allowed).
+
+        Args:
+            shas: world commits.
+            workers: >1 tokenizes missing entries in a process pool;
+                ``None`` uses the cache's ``default_workers``.  Results are
+                identical to serial tokenization.
+        """
+        workers = workers if workers is not None else self.default_workers
+        if workers is not None and workers > 1:
+            seen: set[str] = set()
+            missing = [
+                s for s in shas if s not in self._sequences and not (s in seen or seen.add(s))
+            ]
+            # Below ~2 chunks per worker the pool costs more than it saves.
+            if len(missing) >= 2 * workers:
+                with self.obs.timer("tokenize_parallel"):
+                    self._tokenize_parallel(missing, workers)
+        return [self.sequence(s) for s in shas]
+
+    def _tokenize_parallel(self, missing: list[str], workers: int) -> bool:
+        """Tokenize *missing* in a process pool; False on any pool failure."""
+        n_chunks = min(len(missing), workers * 4)
+        chunks = [list(c) for c in np.array_split(np.array(missing, dtype=object), n_chunks)]
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_token_worker,
+                initargs=(self._world, self._include_context),
+            ) as pool:
+                for pairs in pool.map(_tokenize_chunk, chunks):
+                    for sha, seq in pairs:
+                        self._sequences[sha] = seq
+        except Exception:
+            return False
+        self.obs.add("token_cache_misses", len(missing))
+        return True
+
+    def __len__(self) -> int:
+        return len(self._sequences)

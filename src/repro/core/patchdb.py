@@ -102,28 +102,44 @@ class PatchDB:
         self, source: str | None = None, is_security: bool | None = None
     ) -> list[PatchRecord]:
         """Filtered records."""
-        out = self._records
-        if source is not None:
-            out = [r for r in out if r.source == source]
-        if is_security is not None:
-            out = [r for r in out if r.is_security == is_security]
-        return list(out)
+        if source is None and is_security is None:
+            return list(self._records)
+        return [
+            r
+            for r in self._records
+            if (source is None or r.source == source)
+            and (is_security is None or r.is_security == is_security)
+        ]
 
     def patches(self, source: str | None = None, is_security: bool | None = None) -> list[Patch]:
         """Filtered patches."""
         return [r.patch for r in self.records(source, is_security)]
 
     def summary(self) -> dict[str, int]:
-        """Headline counts matching the paper's abstract numbers."""
-        return {
+        """Headline counts matching the paper's abstract numbers.
+
+        Computed in a single pass over the records rather than one
+        filtered scan per key.
+        """
+        counts = {
             "total": len(self),
-            "security": sum(1 for r in self if r.is_security),
-            "non_security": sum(1 for r in self if not r.is_security),
-            "nvd_security": len(self.records("nvd", True)),
-            "wild_security": len(self.records("wild", True)),
-            "synthetic_security": len(self.records("synthetic", True)),
-            "synthetic_non_security": len(self.records("synthetic", False)),
+            "security": 0,
+            "non_security": 0,
+            "nvd_security": 0,
+            "wild_security": 0,
+            "synthetic_security": 0,
+            "synthetic_non_security": 0,
         }
+        for r in self._records:
+            if r.is_security:
+                counts["security"] += 1
+                if r.source in ("nvd", "wild", "synthetic"):
+                    counts[f"{r.source}_security"] += 1
+            else:
+                counts["non_security"] += 1
+                if r.source == "synthetic":
+                    counts["synthetic_non_security"] += 1
+        return counts
 
     # ---- persistence -----------------------------------------------------
 

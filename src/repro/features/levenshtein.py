@@ -21,6 +21,11 @@ _MAX_LEN = 2000
 def levenshtein(a: Sequence, b: Sequence, max_len: int = _MAX_LEN) -> int:
     """Edit distance between sequences *a* and *b*.
 
+    Equal inputs return 0 immediately, and a shared prefix/suffix is
+    stripped before the DP — both standard identities that leave every
+    distance unchanged while skipping most of the quadratic work on the
+    near-identical hunk sides that dominate real diffs.
+
     Args:
         a, b: strings or sequences of hashable items.
         max_len: truncation bound applied to both inputs.
@@ -30,6 +35,17 @@ def levenshtein(a: Sequence, b: Sequence, max_len: int = _MAX_LEN) -> int:
     """
     a = a[:max_len]
     b = b[:max_len]
+    if a == b:
+        return 0
+    # Strip the common prefix and suffix: neither contributes edits.
+    lo, hi_a, hi_b = 0, len(a), len(b)
+    while lo < hi_a and lo < hi_b and a[lo] == b[lo]:
+        lo += 1
+    while hi_a > lo and hi_b > lo and a[hi_a - 1] == b[hi_b - 1]:
+        hi_a -= 1
+        hi_b -= 1
+    a = a[lo:hi_a]
+    b = b[lo:hi_b]
     if not a:
         return len(b)
     if not b:

@@ -8,6 +8,7 @@ experiments, SMOTE, and the RNN token model — every estimator shares the
 
 from .base import Classifier
 from .bayesnet import TreeAugmentedNaiveBayes
+from .engine import fit_many
 from .forest import RandomForestClassifier
 from .knn import KNeighborsClassifier
 from .logistic import LogisticRegression
@@ -58,6 +59,7 @@ __all__ = [
     "confusion_matrix",
     "encode_batch",
     "f1_score",
+    "fit_many",
     "patch_token_sequence",
     "precision",
     "proportion_confidence_interval",

@@ -2,18 +2,53 @@
 
 The paper's best-performing shallow model for pseudo-labeling (Table III)
 and one of the two dataset-quality models (Table VI).
+
+Trees are mutually independent, so :meth:`RandomForestClassifier.fit` can
+build them in a process pool (``n_jobs``).  Every fit first pre-draws one
+seed per tree from the forest's own RNG and gives each tree a private child
+generator, which makes the serial and parallel tree sequences — and hence
+the fitted forests — bit-identical: parallelism never changes which random
+draws a tree sees, only where it runs.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+
 import numpy as np
 
 from ..errors import ModelError
+from ..obs import ObsRegistry
 from .base import Classifier, check_X, check_Xy, seeded_rng
 from .split import bootstrap_indices
 from .tree import DecisionTreeClassifier
 
 __all__ = ["RandomForestClassifier"]
+
+# Per-process state for pool workers: (X, y, tree keyword arguments).
+_FOREST_STATE: tuple[np.ndarray, np.ndarray, dict] | None = None
+
+
+def _init_forest_worker(X: np.ndarray, y: np.ndarray, tree_kwargs: dict) -> None:
+    global _FOREST_STATE
+    _FOREST_STATE = (X, y, tree_kwargs)
+
+
+def _fit_one_tree(
+    X: np.ndarray, y: np.ndarray, tree_kwargs: dict, seed: int
+) -> DecisionTreeClassifier:
+    """Bootstrap and fit one tree from its pre-drawn seed."""
+    rng = np.random.default_rng(seed)
+    idx = bootstrap_indices(X.shape[0], rng=rng)
+    tree = DecisionTreeClassifier(**tree_kwargs, seed=rng)
+    tree.fit(X[idx], y[idx])
+    return tree
+
+
+def _fit_tree_chunk(seeds: list[int]) -> list[DecisionTreeClassifier]:
+    assert _FOREST_STATE is not None
+    X, y, tree_kwargs = _FOREST_STATE
+    return [_fit_one_tree(X, y, tree_kwargs, s) for s in seeds]
 
 
 class RandomForestClassifier(Classifier):
@@ -25,7 +60,10 @@ class RandomForestClassifier(Classifier):
         min_samples_leaf: per-tree leaf size floor.
         max_features: features per split (default ``"sqrt"``).
         criterion: impurity criterion for the trees.
-        seed: RNG seed; each tree gets an independent child generator.
+        seed: RNG seed; per-tree seeds are pre-drawn from it at fit time.
+        n_jobs: fit trees in a process pool of this size (``None``/``<=1``
+            = serial).  Parallel and serial fits are bit-identical.
+        obs: observability registry counting trees fitted per mode.
     """
 
     def __init__(
@@ -36,6 +74,8 @@ class RandomForestClassifier(Classifier):
         max_features: int | str | None = "sqrt",
         criterion: str = "gini",
         seed: int | np.random.Generator | None = None,
+        n_jobs: int | None = None,
+        obs: ObsRegistry | None = None,
     ) -> None:
         if n_estimators < 1:
             raise ModelError("n_estimators must be >= 1")
@@ -45,25 +85,52 @@ class RandomForestClassifier(Classifier):
         self.max_features = max_features
         self.criterion = criterion
         self._rng = seeded_rng(seed)
+        self.n_jobs = n_jobs
+        self.obs = obs if obs is not None else ObsRegistry()
         self.trees: list[DecisionTreeClassifier] = []
+
+    def _tree_kwargs(self) -> dict:
+        return dict(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            criterion=self.criterion,
+        )
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         X, y = check_Xy(X, y)
         self._n_features = X.shape[1]
-        self.trees = []
-        n = X.shape[0]
-        for _ in range(self.n_estimators):
-            idx = bootstrap_indices(n, rng=self._rng)
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                criterion=self.criterion,
-                seed=self._rng,
-            )
-            tree.fit(X[idx], y[idx])
-            self.trees.append(tree)
+        seeds = [int(s) for s in self._rng.integers(0, np.iinfo(np.int64).max, size=self.n_estimators)]
+        if self.n_jobs is not None and self.n_jobs > 1 and self.n_estimators > 1:
+            trees = self._fit_parallel(X, y, seeds)
+            if trees is not None:
+                self.trees = trees
+                self.obs.add("rf_trees_parallel", len(trees))
+                return self
+        kwargs = self._tree_kwargs()
+        self.trees = [_fit_one_tree(X, y, kwargs, s) for s in seeds]
+        self.obs.add("rf_trees_serial", len(self.trees))
         return self
+
+    def _fit_parallel(
+        self, X: np.ndarray, y: np.ndarray, seeds: list[int]
+    ) -> list[DecisionTreeClassifier] | None:
+        """Fit trees in a process pool; None on any pool failure."""
+        # Enough chunks that stragglers rebalance, big enough to amortize IPC.
+        n_chunks = min(len(seeds), self.n_jobs * 4)
+        chunks = [list(c) for c in np.array_split(np.array(seeds, dtype=object), n_chunks)]
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.n_jobs,
+                initializer=_init_forest_worker,
+                initargs=(X, y, self._tree_kwargs()),
+            ) as pool:
+                trees: list[DecisionTreeClassifier] = []
+                for chunk_trees in pool.map(_fit_tree_chunk, chunks):
+                    trees.extend(chunk_trees)
+        except Exception:
+            return None
+        return trees
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted()

@@ -1,18 +1,24 @@
 """Lightweight observability: wall-time phases and monotonic counters.
 
 One :class:`ObsRegistry` is threaded through the hot paths — feature
-extraction (:class:`~repro.core.cache.PatchFeatureCache`), the incremental
-distance engine (:class:`~repro.features.normalize.DistanceEngine`), and the
-augmentation loop — so a CLI run or benchmark can answer "where did the time
-go" without a profiler.  The registry is additive-only and cheap: a timer is
-one ``perf_counter`` pair, a counter is one dict add, and an unused registry
-costs nothing to carry.
+extraction (:class:`~repro.core.cache.PatchFeatureCache`), tokenization
+(:class:`~repro.core.cache.TokenSequenceCache`), the incremental distance
+engine (:class:`~repro.features.normalize.DistanceEngine`), the augmentation
+loop, and model training (:func:`~repro.ml.fit_many`,
+:class:`~repro.ml.RandomForestClassifier`) — so a CLI run or benchmark can
+answer "where did the time go" without a profiler.  The registry is
+additive-only and cheap: a timer is one ``perf_counter`` pair, a counter is
+one dict add, and an unused registry costs nothing to carry.
 
-Phase timer names in use: ``extract``, ``distance``, ``search``, ``verify``.
+Phase timer names in use: ``extract``, ``extract_parallel``, ``distance``,
+``search``, ``verify``, ``tokenize``, ``tokenize_parallel``, ``fit``,
+``fit_parallel``.
 Counter names in use: ``vectors_extracted``, ``vector_cache_hits``,
 ``npz_vectors_loaded``, ``distance_cells_computed``,
 ``distance_cells_reused``, ``distance_full_recomputes``,
-``distance_incremental_updates``.
+``distance_incremental_updates``, ``token_cache_hits``,
+``token_cache_misses``, ``token_sequences_loaded``, ``fits_serial``,
+``fits_parallel``, ``rf_trees_serial``, ``rf_trees_parallel``.
 """
 
 from __future__ import annotations

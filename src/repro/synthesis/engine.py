@@ -19,7 +19,6 @@ import numpy as np
 from ..corpus.world import World
 from ..diffing.unified_gen import diff_texts
 from ..errors import SynthesisError
-from ..ml.base import seeded_rng
 from ..patch.model import Patch
 from .locator import locate_ifs, touched_lines
 from .variants import VARIANTS, Variant, apply_variant_text
@@ -104,10 +103,17 @@ def synthesize_from_texts(
 class PatchSynthesizer:
     """Oversampler bound to a world (for BEFORE/AFTER retrieval).
 
+    Variant/side choices are drawn from a generator derived from the base
+    seed *and the origin sha*, so :meth:`synthesize` is a pure function of
+    ``(seed, sha)`` — independent of call order.  That purity is what lets
+    ``memoize=True`` reuse results bit-identically when the evaluation
+    harness (Table IV) revisits the same training shas across split seeds.
+
     Args:
         world: the world holding the repositories.
         max_per_patch: cap on synthetic patches generated per natural patch.
-        seed: RNG choosing variants, sides, and sites.
+        seed: base RNG seed choosing variants, sides, and sites.
+        memoize: cache the synthesis result per origin sha.
     """
 
     def __init__(
@@ -115,29 +121,42 @@ class PatchSynthesizer:
         world: World,
         max_per_patch: int = 4,
         seed: int | np.random.Generator | None = 0,
+        memoize: bool = False,
     ) -> None:
         if max_per_patch < 1:
             raise SynthesisError("max_per_patch must be >= 1")
         self._world = world
         self.max_per_patch = max_per_patch
-        self._rng = seeded_rng(seed)
+        if isinstance(seed, np.random.Generator):
+            seed = int(seed.integers(np.iinfo(np.int64).max))
+        self._base_seed = int(seed) if seed is not None else 0
+        self._memo: dict[str, list[SyntheticPatch]] | None = {} if memoize else None
+
+    def _rng_for(self, sha: str) -> np.random.Generator:
+        """The per-origin generator: seeded by (base seed, sha)."""
+        return np.random.default_rng((self._base_seed, int(sha[:16], 16)))
 
     def synthesize(self, sha: str) -> list[SyntheticPatch]:
         """Generate synthetic patches for one natural commit."""
+        if self._memo is not None and sha in self._memo:
+            return self._memo[sha]
         label = self._world.label(sha)
         repo = self._world.repo_of(sha)
         before_tree, after_tree = repo.before_after(sha)
         natural = self._world.patch_for(sha)
         out: list[SyntheticPatch] = []
-        order = self._rng.permutation(len(VARIANTS))
+        rng = self._rng_for(sha)
+        order = rng.permutation(len(VARIANTS))
         for k in range(len(VARIANTS)):
             if len(out) >= self.max_per_patch:
                 break
             variant = VARIANTS[int(order[k])]
-            side = "after" if self._rng.random() < 0.7 else "before"
+            side = "after" if rng.random() < 0.7 else "before"
             synthetic = self._synthesize_one(natural, before_tree, after_tree, variant, side, k)
             if synthetic is not None:
                 out.append(synthetic)
+        if self._memo is not None:
+            self._memo[sha] = out
         return out
 
     def _synthesize_one(

@@ -131,6 +131,36 @@ class TestFig6:
         assert "TV distance" in run_fig6(experiment_world).table()
 
 
+class TestEngineParity:
+    """The parallel engine must be bit-identical to the serial path."""
+
+    def test_table3_engine_matches_serial(self, experiment_world):
+        serial = run_table3(experiment_world)
+        engine = run_table3(experiment_world, ml_workers=2)
+        assert serial == engine
+
+    def test_table4_engine_matches_serial(self, experiment_world):
+        serial = run_table4(experiment_world, n_seeds=1)
+        engine = run_table4(experiment_world, n_seeds=1, ml_workers=2)
+        assert serial.rows == engine.rows
+
+    def test_table6_engine_matches_serial(self, experiment_world):
+        serial = run_table6(experiment_world)
+        engine = run_table6(experiment_world, ml_workers=2)
+        assert serial.rows == engine.rows
+
+    def test_world_default_ml_workers_inherited(self, experiment_world):
+        # ml_workers=1 runs the engine (token cache, staged fits, synthesis
+        # memo) without a pool; rows must still match the legacy path.
+        serial = run_table6(experiment_world)
+        experiment_world.ml_workers = 1
+        try:
+            engine = run_table6(experiment_world)
+        finally:
+            experiment_world.ml_workers = None
+        assert engine.rows == serial.rows
+
+
 class TestTable6:
     def test_eight_rows(self, experiment_world):
         result = run_table6(experiment_world)

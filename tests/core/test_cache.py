@@ -1,10 +1,11 @@
-"""Tests for the per-world feature cache."""
+"""Tests for the per-world feature and token-sequence caches."""
 
 import numpy as np
 import pytest
 
-from repro.core import PatchFeatureCache
+from repro.core import PatchFeatureCache, TokenSequenceCache
 from repro.features import FEATURE_COUNT, feature_index
+from repro.ml import patch_token_sequence
 
 
 class TestPatchFeatureCache:
@@ -104,3 +105,71 @@ class TestNpzPersistence:
         cache.save()
         other = PatchFeatureCache(tiny_world, use_repo_context=False, persist_path=path)
         assert len(other) == 0  # contextless vectors differ; file must be ignored
+
+
+class TestTokenSequenceCache:
+    def test_matches_direct_tokenization(self, tiny_world):
+        cache = TokenSequenceCache(tiny_world)
+        for sha in tiny_world.all_shas()[:10]:
+            assert cache.sequence(sha) == patch_token_sequence(tiny_world.patch_for(sha))
+
+    def test_hit_and_miss_counters(self, tiny_world):
+        cache = TokenSequenceCache(tiny_world)
+        sha = tiny_world.all_shas()[0]
+        assert cache.sequence(sha) is cache.sequence(sha)
+        assert cache.obs.count("token_cache_misses") == 1
+        assert cache.obs.count("token_cache_hits") == 1
+        assert len(cache) == 1
+
+    def test_sequence_of_memoizes_by_sha(self, tiny_world):
+        cache = TokenSequenceCache(tiny_world)
+        patch = tiny_world.patch_for(tiny_world.all_shas()[0])
+        assert cache.sequence_of(patch) is cache.sequence_of(patch)
+        assert cache.sequence_of(patch) == patch_token_sequence(patch)
+
+    def test_sequences_preserve_order_and_duplicates(self, tiny_world):
+        cache = TokenSequenceCache(tiny_world)
+        shas = tiny_world.all_shas()[:4]
+        shas = shas + [shas[0]]
+        seqs = cache.sequences(shas)
+        assert len(seqs) == 5
+        assert seqs[0] == seqs[-1]
+
+    def test_parallel_matches_serial(self, tiny_world):
+        shas = tiny_world.all_shas()[:40]
+        serial = TokenSequenceCache(tiny_world).sequences(shas)
+        parallel = TokenSequenceCache(tiny_world).sequences(shas, workers=2)
+        assert serial == parallel
+
+    def test_persistence_round_trip(self, tiny_world, tmp_path):
+        path = tmp_path / "tokens.pkl"
+        shas = tiny_world.all_shas()[:15]
+        cache = TokenSequenceCache(tiny_world, persist_path=path)
+        seqs = cache.sequences(shas)
+        cache.save()
+        assert path.exists()
+
+        reloaded = TokenSequenceCache(tiny_world, persist_path=path)
+        assert len(reloaded) == len(set(shas))
+        assert reloaded.obs.count("token_sequences_loaded") == len(set(shas))
+        assert reloaded.sequences(shas) == seqs
+        assert reloaded.obs.count("token_cache_misses") == 0
+
+    def test_save_without_path_raises(self, tiny_world):
+        with pytest.raises(ValueError):
+            TokenSequenceCache(tiny_world).save()
+
+    def test_corrupt_file_is_cold_cache(self, tiny_world, tmp_path):
+        path = tmp_path / "tokens.pkl"
+        path.write_bytes(b"not a pickle")
+        cache = TokenSequenceCache(tiny_world, persist_path=path)
+        assert len(cache) == 0
+        assert cache.sequence(tiny_world.all_shas()[0])
+
+    def test_context_flag_mismatch_ignored(self, tiny_world, tmp_path):
+        path = tmp_path / "tokens.pkl"
+        cache = TokenSequenceCache(tiny_world, include_context=True, persist_path=path)
+        cache.sequence(tiny_world.all_shas()[0])
+        cache.save()
+        other = TokenSequenceCache(tiny_world, include_context=False, persist_path=path)
+        assert len(other) == 0  # context tokens differ; file must be ignored

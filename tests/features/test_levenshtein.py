@@ -8,6 +8,21 @@ from repro.features import levenshtein, normalized_levenshtein
 words = st.text(alphabet="abcd", max_size=15)
 
 
+def naive_levenshtein(a, b):
+    """Full-matrix reference DP, no fast paths — the oracle for properties."""
+    n, m = len(a), len(b)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dp[i][0] = i
+    for j in range(m + 1):
+        dp[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            dp[i][j] = min(dp[i - 1][j] + 1, dp[i][j - 1] + 1, dp[i - 1][j - 1] + cost)
+    return dp[n][m]
+
+
 class TestKnownDistances:
     def test_kitten_sitting(self):
         assert levenshtein("kitten", "sitting") == 3
@@ -70,3 +85,24 @@ class TestProperties:
     @settings(max_examples=100, deadline=None)
     def test_zero_iff_equal(self, a, b):
         assert (levenshtein(a, b) == 0) == (a == b)
+
+    @given(a=words, b=words)
+    @settings(max_examples=300, deadline=None)
+    def test_matches_naive_dp(self, a, b):
+        # The equal-input and prefix/suffix fast paths must not change any
+        # distance; check against the full-matrix reference.
+        assert levenshtein(a, b) == naive_levenshtein(a, b)
+
+    @given(pre=words, a=words, b=words, suf=words)
+    @settings(max_examples=200, deadline=None)
+    def test_shared_affixes_preserved(self, pre, a, b, suf):
+        # Explicitly exercise the stripping path with forced common affixes.
+        assert levenshtein(pre + a + suf, pre + b + suf) == naive_levenshtein(
+            pre + a + suf, pre + b + suf
+        )
+
+    @given(a=st.lists(st.sampled_from(["if", "(", "VAR", ")", "NUM"]), max_size=10),
+           b=st.lists(st.sampled_from(["if", "(", "VAR", ")", "NUM"]), max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive_dp_on_token_lists(self, a, b):
+        assert levenshtein(a, b) == naive_levenshtein(a, b)

@@ -40,7 +40,9 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    @pytest.mark.parametrize("cmd", ["build", "stats", "features", "categorize", "synthesize"])
+    @pytest.mark.parametrize(
+        "cmd", ["build", "evaluate", "stats", "features", "categorize", "synthesize"]
+    )
     def test_subcommands_exist(self, cmd):
         parser = build_parser()
         with pytest.raises(SystemExit):
@@ -136,3 +138,36 @@ class TestBuildAndStats:
         assert "persisted" in err
         assert "phase timings:" in err
         assert "vectors_extracted" in err
+
+
+class TestEvaluate:
+    def test_table6_with_engine_and_token_cache(self, tmp_path, capsys):
+        pkl_path = tmp_path / "tokens.pkl"
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--scale",
+                    "tiny",
+                    "--tables",
+                    "6",
+                    "--ml-workers",
+                    "2",
+                    "--token-cache",
+                    str(pkl_path),
+                    "--stats",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "Table VI" in captured.out
+        assert "Random Forest" in captured.out
+        assert "Table III" not in captured.out
+        assert pkl_path.exists()
+        assert "token sequences" in captured.err
+        assert "phase timings:" in captured.err
+
+    def test_unknown_table_rejected(self, capsys):
+        assert main(["evaluate", "--tables", "5"]) == 2
+        assert "unknown table" in capsys.readouterr().err
