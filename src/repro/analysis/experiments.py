@@ -68,6 +68,8 @@ __all__ = [
     "run_table5",
     "run_fig6",
     "run_table6",
+    "run_checkdelta_ablation",
+    "CheckDeltaResult",
     "build_patchdb",
     "Table4Result",
     "Table5Result",
@@ -99,6 +101,18 @@ class ExperimentScale:
     verify_sample: int
     rnn_epochs: int = 6
 
+    def world_config(self, seed: int = 2021) -> WorldConfig:
+        """The world-building configuration every consumer of this scale
+        uses (experiments, the CLI ``lint`` gate, CI)."""
+        return WorldConfig(
+            n_commits=self.n_commits,
+            n_repos=self.n_repos,
+            files_per_repo=5,
+            security_fraction=0.09,
+            nvd_report_fraction=0.33,
+            seed=seed,
+        )
+
 
 TINY = ExperimentScale("tiny", n_commits=450, n_repos=6, set1_size=110, set23_size=140, verify_sample=140, rnn_epochs=3)
 SMALL = ExperimentScale("small", n_commits=4500, n_repos=16, set1_size=1000, set23_size=1500, verify_sample=600, rnn_epochs=5)
@@ -123,7 +137,7 @@ class ExperimentWorld:
     """
 
     #: Bumped when the pickled layout changes; stale disk caches rebuild.
-    _CACHE_REV = 2
+    _CACHE_REV = 3
 
     def __init__(
         self,
@@ -139,16 +153,7 @@ class ExperimentWorld:
         self.obs = ObsRegistry()
         self.ml_workers = ml_workers
         self._cache_rev = self._CACHE_REV
-        self.world: World = build_world(
-            WorldConfig(
-                n_commits=scale.n_commits,
-                n_repos=scale.n_repos,
-                files_per_repo=5,
-                security_fraction=0.09,
-                nvd_report_fraction=0.33,
-                seed=seed,
-            )
-        )
+        self.world: World = build_world(scale.world_config(seed))
         self.nvd: NvdDatabase = build_nvd(self.world, NvdConfig(seed=seed + 1))
         self.crawl: CrawlResult = NvdCrawler(self.world).crawl(self.nvd)
         self.cache = PatchFeatureCache(
@@ -164,6 +169,20 @@ class ExperimentWorld:
             default_workers=workers,
         )
         self._rng = np.random.default_rng(seed + 2)
+        self._deltas = None
+
+    @property
+    def deltas(self):
+        """The lazily-built checker-delta feature cache (16-dim extension).
+
+        Built on first use so experiments that never touch the ablation pay
+        nothing; survives pickling along with its blob-count memo.
+        """
+        if getattr(self, "_deltas", None) is None:
+            from ..staticcheck.delta import CheckerDeltaCache
+
+            self._deltas = CheckerDeltaCache(self.world, obs=self.obs)
+        return self._deltas
 
     # ---- shared dataset views --------------------------------------------
 
@@ -604,6 +623,81 @@ def run_table6(
                 y_true = np.array([lab for _, lab in test])
                 report = classification_report(y_true, predict(shas))
                 result.rows.append((train_name, algo, test_name, report.precision, report.recall))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Checker-delta ablation — does the static-analysis feature channel help?
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class CheckDeltaResult:
+    """Rows of the checker-delta ablation: (features, test set, P, R, F1)."""
+
+    rows: list[tuple[str, str, float, float, float]] = field(default_factory=list)
+
+    def table(self) -> str:
+        """Render the ablation rows."""
+        out = [f"{'Features':<16s} {'Test':<6s} {'Precision':>9s} {'Recall':>7s} {'F1':>7s}"]
+        for feats, test, p, r, f1 in self.rows:
+            out.append(f"{feats:<16s} {test:<6s} {p:>9.1%} {r:>7.1%} {f1:>7.1%}")
+        return "\n".join(out)
+
+
+def run_checkdelta_ablation(ew: ExperimentWorld, seed: int = 0) -> CheckDeltaResult:
+    """Table VI-style ablation of the checker-delta feature block.
+
+    Trains the same Random Forest on NVD+wild security patches under three
+    feature sets — the 60-dim Table I vector, that vector plus the 16-dim
+    checker-delta block (:mod:`repro.staticcheck.delta`), and the delta
+    block alone — and tests on held-out NVD and wild sets.  The protocol
+    (splits, class balance, hyperparameters) matches :func:`run_table6`, so
+    the base-60 rows are directly comparable to the RF rows there.
+
+    Deterministic: identical ``(ew, seed)`` inputs produce identical rows.
+    """
+    nvd_sec = ew.nvd_seed_shas
+    wild_sec = [s for s in ew.world.security_shas() if s not in set(nvd_sec)]
+    nonsec = ew.ground_truth_nonsec(2 * (len(nvd_sec) + len(wild_sec)), seed=seed)
+    non_nvd = nonsec[: 2 * len(nvd_sec)]
+    non_wild = nonsec[2 * len(nvd_sec) : 2 * len(nvd_sec) + 2 * len(wild_sec)]
+
+    def split(sec: list[str], non: list[str], split_seed: int):
+        labeled = [(s, 1) for s in sec] + [(s, 0) for s in non]
+        y = np.array([lab for _, lab in labeled])
+        tr, te = train_test_split(len(labeled), 0.2, y=y, stratify=True, seed=split_seed)
+        return [labeled[i] for i in tr], [labeled[i] for i in te]
+
+    nvd_train, nvd_test = split(nvd_sec, non_nvd, seed)
+    wild_train, wild_test = split(wild_sec, non_wild, seed + 1)
+    train = nvd_train + wild_train
+    test_sets = {"NVD": nvd_test, "Wild": wild_test}
+
+    from ..staticcheck.delta import extend_matrix
+
+    train_shas = [s for s, _ in train]
+    y_train = np.array([lab for _, lab in train])
+
+    def matrices(shas: list[str]) -> dict[str, np.ndarray]:
+        base = ew.cache.matrix(shas)
+        delta = ew.deltas.matrix(shas)
+        return {
+            "table1-60": base,
+            "table1+delta": extend_matrix(base, delta),
+            "delta-16": delta,
+        }
+
+    X_train = matrices(train_shas)
+    result = CheckDeltaResult()
+    for feats in X_train:
+        rf = RandomForestClassifier(n_estimators=40, max_depth=14, seed=seed, obs=ew.obs)
+        rf.fit(X_train[feats], y_train)
+        for test_name, test in test_sets.items():
+            shas = [s for s, _ in test]
+            y_true = np.array([lab for _, lab in test])
+            report = classification_report(y_true, rf.predict(matrices(shas)[feats]))
+            result.rows.append((feats, test_name, report.precision, report.recall, report.f1))
     return result
 
 

@@ -8,6 +8,8 @@ Commands:
 * ``features``  — print the Table I feature vector of a ``.patch`` file.
 * ``categorize``— print the Table V pattern type of a ``.patch`` file.
 * ``synthesize``— apply the Fig. 5 variants to a before/after file pair.
+* ``lint``      — run the static-analysis suite over a built world (the
+  validation gate), a PatchDB JSONL, or a directory of ``.patch`` files.
 
 The CLI wraps the library one-to-one; every command is also available
 programmatically (see README).
@@ -159,6 +161,103 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .corpus.world import build_world
+    from .obs import ObsRegistry
+    from .staticcheck import (
+        CHECKER_IDS,
+        LintReport,
+        Severity,
+        lint_sources,
+        make_checkers,
+        patch_fragments,
+        run_gate,
+    )
+
+    obs = ObsRegistry()
+    gate_result = None
+    if args.target is None:
+        # No target: build a world at --scale and run the full gate.
+        scale = _SCALES[args.scale]
+        print(f"building {scale.name} world (seed {args.seed})...", file=sys.stderr)
+        world = build_world(scale.world_config(args.seed))
+        gate_result = run_gate(
+            world, workers=args.workers, variant_sample=args.variant_sample, obs=obs
+        )
+        report = gate_result.report
+    else:
+        target = Path(args.target)
+        if target.is_dir():
+            items = [
+                (str(p), _read_patch(str(p))) for p in sorted(target.glob("*.patch"))
+            ]
+            pairs = [(path, frag) for path, p in items for frag in patch_fragments(p)]
+            report = lint_sources(
+                [(f"{path}:{fp}", text) for path, (fp, text) in pairs],
+                workers=args.workers,
+                obs=obs,
+                fragments=True,
+            )
+        elif target.suffix == ".jsonl":
+            # Synthetic records carry _SYS_ scaffolding by construction, so
+            # the scaffold-leak checker only applies to natural records.
+            natural_pairs: list[tuple[str, str]] = []
+            synthetic_pairs: list[tuple[str, str]] = []
+            for record in PatchDB.iter_jsonl(target):
+                dest = synthetic_pairs if record.source == "synthetic" else natural_pairs
+                for fp, text in patch_fragments(record.patch):
+                    dest.append((f"{record.patch.sha[:12]}:{fp}", text))
+            no_scaffold = make_checkers([c for c in CHECKER_IDS if c != "scaffold-leak"])
+            rep_nat = lint_sources(
+                natural_pairs, workers=args.workers, obs=obs, fragments=True
+            )
+            rep_syn = lint_sources(
+                synthetic_pairs,
+                checkers=no_scaffold,
+                workers=args.workers,
+                obs=obs,
+                fragments=True,
+            )
+            report = LintReport(
+                files=sorted(rep_nat.files + rep_syn.files, key=lambda fr: fr.path)
+            )
+        else:
+            report = lint_sources(
+                [(str(target), target.read_text())], workers=args.workers, obs=obs
+            )
+
+    if args.format == "json":
+        import json as _json
+
+        payload = _json.loads(report.to_json())
+        if gate_result is not None:
+            payload["gate"] = gate_result.summary()
+            payload["gate"]["variant_failures_detail"] = gate_result.variant_failures
+        text = _json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        text = (
+            gate_result.render_text(max_findings=args.max_findings)
+            if gate_result is not None
+            else report.render_text(max_findings=args.max_findings)
+        )
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote report to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    if args.stats:
+        print(f"\n{obs.report()}", file=sys.stderr)
+
+    if args.fail_on == "never":
+        return 0
+    failing = report.findings(Severity.GATE)
+    if args.fail_on == "warning":
+        failing = failing + report.findings(Severity.WARNING)
+    if gate_result is not None and gate_result.variant_failures:
+        return 1
+    return 1 if failing else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -236,6 +335,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_syn.add_argument("--variant", type=int, choices=range(1, 9), default=None)
     p_syn.add_argument("--side", choices=("before", "after"), default="after")
     p_syn.set_defaults(func=_cmd_synthesize)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the static-analysis suite (validation gate without a target)"
+    )
+    p_lint.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="a C file, a PatchDB .jsonl, or a directory of .patch files; "
+        "omit to build a world at --scale and run the full validation gate",
+    )
+    p_lint.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    p_lint.add_argument("--seed", type=int, default=2021)
+    p_lint.add_argument(
+        "--workers", type=int, default=None, help="lint in a process pool of this size"
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--output", default=None, metavar="FILE", help="write the report here")
+    p_lint.add_argument(
+        "--fail-on",
+        choices=("gate", "warning", "never"),
+        default="gate",
+        help="exit non-zero when findings of this class (or worse) exist",
+    )
+    p_lint.add_argument(
+        "--variant-sample",
+        type=int,
+        default=25,
+        metavar="N",
+        help="security patches to CFG-equivalence-check in gate mode (0 disables)",
+    )
+    p_lint.add_argument(
+        "--max-findings", type=int, default=50, help="cap findings printed in text mode"
+    )
+    p_lint.add_argument(
+        "--stats", action="store_true", help="print phase timings and counters to stderr"
+    )
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -143,22 +143,43 @@ class PatchDB:
 
     # ---- persistence -----------------------------------------------------
 
-    def save_jsonl(self, path: str | Path) -> None:
-        """Write all records to a JSONL file."""
+    @staticmethod
+    def write_jsonl(records: Iterable[PatchRecord], path: str | Path) -> int:
+        """Stream any iterable of records to a JSONL file.
+
+        Records are written one at a time, so a generator producing patches
+        on the fly (e.g. the synthesizer) never materializes the whole
+        dataset in memory.  Returns the number of records written.
+        """
         path = Path(path)
+        n = 0
         with path.open("w", encoding="utf-8") as fh:
-            for record in self._records:
+            for record in records:
                 fh.write(record.to_json())
                 fh.write("\n")
+                n += 1
+        return n
+
+    def save_jsonl(self, path: str | Path) -> None:
+        """Write all records to a JSONL file."""
+        self.write_jsonl(self._records, path)
 
     @classmethod
-    def load_jsonl(cls, path: str | Path) -> "PatchDB":
-        """Read a PatchDB back from JSONL."""
+    def iter_jsonl(cls, path: str | Path) -> Iterator[PatchRecord]:
+        """Lazily yield records from a JSONL file, one line at a time.
+
+        The streaming counterpart of :meth:`load_jsonl`: the file is read
+        incrementally, so arbitrarily large datasets can be filtered or
+        linted in constant memory.  Blank lines are skipped.
+        """
         path = Path(path)
-        records = []
         with path.open("r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
                 if line:
-                    records.append(PatchRecord.from_json(line))
-        return cls(records)
+                    yield PatchRecord.from_json(line)
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "PatchDB":
+        """Read a PatchDB back from JSONL (materialized)."""
+        return cls(cls.iter_jsonl(path))

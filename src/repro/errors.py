@@ -22,6 +22,7 @@ __all__ = [
     "NvdError",
     "AugmentationError",
     "SynthesisError",
+    "StaticCheckError",
 ]
 
 
@@ -85,3 +86,7 @@ class AugmentationError(ReproError):
 
 class SynthesisError(ReproError):
     """Patch oversampling could not transform a patch."""
+
+
+class StaticCheckError(ReproError):
+    """The static-analysis pass was misconfigured or given bad input."""

@@ -33,6 +33,7 @@ from .ast_nodes import (
 from .lexer import code_tokens, split_tokens_by_line, tokenize
 from .metrics import FragmentCounts, count_fragment, count_lines
 from .parser import find_if_statements, parse_function_body, parse_translation_unit
+from .sideeffects import SideEffect, expression_side_effects, is_side_effect_free
 from .tokens import (
     ALL_KEYWORDS,
     ARITHMETIC_OPERATORS,
@@ -76,6 +77,7 @@ __all__ = [
     "NullStmt",
     "RELATIONAL_OPERATORS",
     "ReturnStmt",
+    "SideEffect",
     "Stmt",
     "SwitchStmt",
     "Token",
@@ -88,7 +90,9 @@ __all__ = [
     "code_tokens",
     "count_fragment",
     "count_lines",
+    "expression_side_effects",
     "find_if_statements",
+    "is_side_effect_free",
     "parse_function_body",
     "parse_translation_unit",
     "split_tokens_by_line",

@@ -1,0 +1,75 @@
+"""Side-effect analysis of C expressions.
+
+The Fig. 5 variants (and several checkers in :mod:`repro.staticcheck`) are
+only sound for conditions without side effects: variants 3-8 evaluate the
+original ``COND`` up to twice, so an assignment, ``++``/``--``, or function
+call inside it would change program behaviour.  This module classifies an
+expression's source text at the token level — the same approximation the
+paper's tooling makes, but checked instead of assumed.
+
+``sizeof``/``_Alignof`` applications are not calls (they are keywords and
+evaluate nothing at run time), and relational ``==`` never counts as an
+assignment because the lexer applies maximal munch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .lexer import code_tokens
+from .tokens import ASSIGNMENT_OPERATORS, TokenKind
+
+__all__ = ["SideEffect", "expression_side_effects", "is_side_effect_free"]
+
+
+@dataclass(frozen=True, slots=True)
+class SideEffect:
+    """One side-effecting construct found in an expression.
+
+    Attributes:
+        kind: ``"assignment"``, ``"increment"``, or ``"call"``.
+        token: the offending token's text (operator or callee name).
+    """
+
+    kind: str
+    token: str
+
+    def describe(self) -> str:
+        """Human-readable description used in findings and errors."""
+        if self.kind == "call":
+            return f"call to {self.token}()"
+        if self.kind == "increment":
+            return f"{self.token} operator"
+        return f"assignment via {self.token!r}"
+
+
+def expression_side_effects(text: str) -> list[SideEffect]:
+    """Side-effecting constructs in an expression's source text.
+
+    Args:
+        text: the expression source (e.g. an ``if`` condition).
+
+    Returns:
+        One :class:`SideEffect` per offending token, in source order; an
+        empty list means the expression is safe to re-evaluate.
+    """
+    tokens = code_tokens(text)
+    effects: list[SideEffect] = []
+    for i, tok in enumerate(tokens):
+        if tok.kind is TokenKind.OPERATOR:
+            if tok.text in ("++", "--"):
+                effects.append(SideEffect("increment", tok.text))
+            elif tok.text in ASSIGNMENT_OPERATORS:
+                effects.append(SideEffect("assignment", tok.text))
+        elif (
+            tok.kind is TokenKind.IDENTIFIER
+            and i + 1 < len(tokens)
+            and tokens[i + 1].text == "("
+        ):
+            effects.append(SideEffect("call", tok.text))
+    return effects
+
+
+def is_side_effect_free(text: str) -> bool:
+    """True when re-evaluating *text* cannot change program state."""
+    return not expression_side_effects(text)

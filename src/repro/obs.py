@@ -12,13 +12,16 @@ one dict add, and an unused registry costs nothing to carry.
 
 Phase timer names in use: ``extract``, ``extract_parallel``, ``distance``,
 ``search``, ``verify``, ``tokenize``, ``tokenize_parallel``, ``fit``,
-``fit_parallel``.
+``fit_parallel``, ``lint``, ``lint_parallel``, ``gate``, ``delta``.
 Counter names in use: ``vectors_extracted``, ``vector_cache_hits``,
 ``npz_vectors_loaded``, ``distance_cells_computed``,
 ``distance_cells_reused``, ``distance_full_recomputes``,
 ``distance_incremental_updates``, ``token_cache_hits``,
 ``token_cache_misses``, ``token_sequences_loaded``, ``fits_serial``,
-``fits_parallel``, ``rf_trees_serial``, ``rf_trees_parallel``.
+``fits_parallel``, ``rf_trees_serial``, ``rf_trees_parallel``,
+``files_linted``, ``lint_findings``, ``lint_<checker>`` (one per checker
+id, dashes as underscores), ``variant_equiv_checks``,
+``variant_equiv_failures``, ``delta_vectors``, ``delta_blob_cache_hits``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,70 @@
+"""Visitor-based static analysis over corpus files, patches, and synthesis
+output.
+
+The framework plays three roles in the reproduction (§III of the paper
+assumes its inputs are well-formed; this package *checks* that):
+
+* **Validation gate** (:mod:`~repro.staticcheck.gate`) — every corpus file
+  must parse, no ``_SYS_`` scaffold identifier may leak outside synthesis
+  output, no condition may carry side effects, and every Fig. 5 variant
+  must be CFG-equivalent to its original after descaffolding.
+* **Feature channel** (:mod:`~repro.staticcheck.delta`) — per-patch
+  removed/introduced finding counts form a 16-dim extension block over the
+  60-dim Table I vector, evaluated in a Table VI-style ablation.
+* **CLI surface** — ``python -m repro lint`` runs the suite over a world,
+  a ``.jsonl`` dataset, or a directory of ``.patch`` files, serially or in
+  a chunked process pool, and emits text or JSON reports.
+
+Checkers work on the :mod:`repro.lang` AST where the parser models the
+code, and fall back to token-level analysis inside opaque regions, so
+coverage does not stop at the parser's limits.
+"""
+
+from .analyzer import (
+    CODE_SUFFIXES,
+    analyze_source,
+    lint_patch,
+    lint_sources,
+    lint_world,
+    patch_fragments,
+)
+from .checkers import CHECKER_IDS, Checker, make_checkers
+from .delta import (
+    DELTA_FEATURE_COUNT,
+    DELTA_FEATURE_NAMES,
+    CheckerDeltaCache,
+    extend_matrix,
+)
+from .equivalence import cfg_equivalent, cfg_signature, descaffolded_signature
+from .gate import GateResult, run_gate
+from .model import FileReport, Finding, LintReport, Severity
+from .seeding import OPAQUE_FIXTURE, SEEDABLE_CHECKERS, inject_violation, seed_all
+
+__all__ = [
+    "CHECKER_IDS",
+    "CODE_SUFFIXES",
+    "Checker",
+    "CheckerDeltaCache",
+    "DELTA_FEATURE_COUNT",
+    "DELTA_FEATURE_NAMES",
+    "FileReport",
+    "Finding",
+    "GateResult",
+    "LintReport",
+    "OPAQUE_FIXTURE",
+    "SEEDABLE_CHECKERS",
+    "Severity",
+    "analyze_source",
+    "cfg_equivalent",
+    "cfg_signature",
+    "descaffolded_signature",
+    "extend_matrix",
+    "inject_violation",
+    "lint_patch",
+    "lint_sources",
+    "lint_world",
+    "make_checkers",
+    "patch_fragments",
+    "run_gate",
+    "seed_all",
+]

@@ -1,0 +1,199 @@
+"""Running the checker suite over files, worlds, and patches.
+
+Three entry points share one core:
+
+* :func:`analyze_source` — one (path, text) pair → :class:`FileReport`.
+* :func:`lint_sources` — many pairs, optionally fanned out to a chunked
+  process pool (same shape as the feature/token caches in
+  :mod:`repro.core.cache`: worker initializer carries the checker ids,
+  chunks amortize IPC, any pool failure falls back to serial, and results
+  are identical to a serial run).
+* :func:`lint_world` / :func:`lint_patch` — adapters that collect the
+  (path, text) pairs from a corpus world's head trees or from a parsed
+  patch's added lines.
+
+Reports list files in sorted path order regardless of worker count, so
+``--workers N`` output is byte-identical to serial output.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+from ..obs import ObsRegistry
+from ..patch.model import Patch
+from .checkers import CHECKER_IDS, Checker, make_checkers
+from .context import CheckContext
+from .model import FileReport, LintReport
+
+__all__ = [
+    "CODE_SUFFIXES",
+    "analyze_source",
+    "lint_sources",
+    "lint_world",
+    "lint_patch",
+    "patch_fragments",
+]
+
+#: File suffixes the linter considers source code.
+CODE_SUFFIXES = (".c", ".h", ".cc", ".cpp", ".hpp", ".cxx")
+
+# Per-process state for pool workers: the instantiated checker list.
+_LINT_WORKER_STATE: list[Checker] | None = None
+
+
+def _init_lint_worker(checker_ids: tuple[str, ...]) -> None:
+    global _LINT_WORKER_STATE
+    _LINT_WORKER_STATE = make_checkers(checker_ids)
+
+
+def _lint_chunk(items: list[tuple[str, str, bool]]) -> list[FileReport]:
+    assert _LINT_WORKER_STATE is not None
+    return [
+        analyze_source(path, source, _LINT_WORKER_STATE, is_fragment=fragment)
+        for path, source, fragment in items
+    ]
+
+
+def analyze_source(
+    path: str,
+    source: str,
+    checkers: list[Checker] | None = None,
+    is_fragment: bool = False,
+) -> FileReport:
+    """Run the checker suite over one file's text.
+
+    Args:
+        path: file path recorded in findings.
+        source: full file text (or patch fragment).
+        checkers: suite to run; the full registry when None.
+        is_fragment: the text is a patch fragment — parse failures are
+            advisory rather than gate-class and coverage is not reported.
+    """
+    if checkers is None:
+        checkers = make_checkers()
+    ctx = CheckContext(path, source, is_fragment=is_fragment)
+    findings = [f for checker in checkers for f in checker.check(ctx)]
+    findings.sort(key=lambda f: (f.line, f.checker, f.message))
+    code, opaque = ctx.coverage() if not is_fragment else (0, 0)
+    return FileReport(
+        path=path,
+        findings=tuple(findings),
+        parse_failed=ctx.parse_error is not None,
+        code_lines=code,
+        opaque_lines=opaque,
+    )
+
+
+def lint_sources(
+    items: list[tuple[str, str]],
+    checkers: list[Checker] | None = None,
+    workers: int | None = None,
+    obs: ObsRegistry | None = None,
+    fragments: bool = False,
+) -> LintReport:
+    """Lint many (path, source) pairs into one report.
+
+    Args:
+        items: (path, text) pairs; duplicated paths are linted once each.
+        checkers: suite to run; the full registry when None.
+        workers: >1 lints in a process pool.  Output is identical to the
+            serial run; any pool failure silently falls back to serial.
+        obs: observability registry for ``lint``/``lint_parallel`` timers
+            and ``files_linted``/``lint_findings`` counters.
+        fragments: treat every item as a patch fragment.
+    """
+    obs = obs if obs is not None else ObsRegistry()
+    tagged = sorted(
+        ((path, text, fragments) for path, text in items), key=lambda item: item[0]
+    )
+    reports: list[FileReport] | None = None
+    # Below ~2 chunks per worker the pool costs more than it saves.
+    if workers is not None and workers > 1 and len(tagged) >= 2 * workers:
+        with obs.timer("lint_parallel"):
+            reports = _lint_parallel(tagged, checkers, workers)
+    if reports is None:
+        checker_objs = checkers if checkers is not None else make_checkers()
+        with obs.timer("lint"):
+            reports = [
+                analyze_source(path, text, checker_objs, is_fragment=frag)
+                for path, text, frag in tagged
+            ]
+    obs.add("files_linted", len(reports))
+    report = LintReport(files=reports)
+    obs.add("lint_findings", len(report.findings()))
+    for checker_id, n in report.counts_by_checker().items():
+        obs.add(f"lint_{checker_id.replace('-', '_')}", n)
+    return report
+
+
+def _lint_parallel(
+    tagged: list[tuple[str, str, bool]],
+    checkers: list[Checker] | None,
+    workers: int,
+) -> list[FileReport] | None:
+    """Lint *tagged* items in a process pool; None on any pool failure."""
+    ids = tuple(c.id for c in checkers) if checkers is not None else CHECKER_IDS
+    # Enough chunks that stragglers rebalance, big enough to amortize IPC.
+    n_chunks = min(len(tagged), workers * 4)
+    chunks: list[list[tuple[str, str, bool]]] = [[] for _ in range(n_chunks)]
+    for i, item in enumerate(tagged):
+        chunks[i % n_chunks].append(item)
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_lint_worker,
+            initargs=(ids,),
+        ) as pool:
+            reports = [fr for part in pool.map(_lint_chunk, chunks) for fr in part]
+    except Exception:
+        return None
+    reports.sort(key=lambda fr: fr.path)
+    return reports
+
+
+def lint_world(
+    world,
+    checkers: list[Checker] | None = None,
+    workers: int | None = None,
+    obs: ObsRegistry | None = None,
+) -> LintReport:
+    """Lint every code file at every repository head of a corpus world.
+
+    Paths are namespaced ``slug/path`` so findings are attributable across
+    repositories.
+    """
+    items: list[tuple[str, str]] = []
+    for slug in sorted(world.repos):
+        repo = world.repos[slug]
+        tree = repo.checkout(repo.head)
+        for path in sorted(tree):
+            if path.endswith(CODE_SUFFIXES):
+                items.append((f"{slug}/{path}", tree[path]))
+    return lint_sources(items, checkers=checkers, workers=workers, obs=obs)
+
+
+def patch_fragments(patch: Patch) -> list[tuple[str, str]]:
+    """The added-side text of each touched code file in a patch.
+
+    Each fragment is the concatenation of the added lines of every hunk of
+    one file — not a complete compilation unit, hence linted with
+    ``fragments=True``.
+    """
+    out: list[tuple[str, str]] = []
+    for fd in patch.files:
+        if not fd.new_path.endswith(CODE_SUFFIXES):
+            continue
+        added = [text for hunk in fd.hunks for text in hunk.added]
+        if added:
+            out.append((fd.new_path, "\n".join(added) + "\n"))
+    return out
+
+
+def lint_patch(
+    patch: Patch,
+    checkers: list[Checker] | None = None,
+    obs: ObsRegistry | None = None,
+) -> LintReport:
+    """Lint the added lines of a patch as per-file fragments."""
+    return lint_sources(patch_fragments(patch), checkers=checkers, obs=obs, fragments=True)

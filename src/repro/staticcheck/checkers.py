@@ -1,0 +1,525 @@
+"""The checker suite: eight AST/token-level static checks.
+
+Each checker consumes a read-only :class:`~repro.staticcheck.context.CheckContext`
+and emits :class:`~repro.staticcheck.model.Finding` objects.  Severity
+partitions the suite into the validation gate (parse failures, scaffold
+leaks, side-effecting conditions — conditions the corpus generators and the
+Fig. 5 templates are contractually required to uphold) and advisory
+channels (dangerous APIs, missing checks, unreachable code, alloc/free
+imbalance, declaration order) whose per-patch deltas feed the feature
+extension block.
+
+Checkers are stateless and cheap to construct, so process-pool workers
+rebuild them from ids via :func:`make_checkers`.
+"""
+
+from __future__ import annotations
+
+from ..errors import StaticCheckError
+from ..lang.ast_nodes import (
+    BlockStmt,
+    BreakStmt,
+    CaseLabel,
+    ContinueStmt,
+    DeclStmt,
+    FunctionDef,
+    GotoStmt,
+    LabelStmt,
+    ReturnStmt,
+    walk,
+)
+from ..lang.lexer import code_tokens
+from ..lang.sideeffects import expression_side_effects
+from ..lang.tokens import TokenKind
+from .context import CheckContext
+from .model import Finding, Severity
+
+__all__ = [
+    "Checker",
+    "CHECKER_IDS",
+    "make_checkers",
+    "DangerousApiChecker",
+    "MissingCheckChecker",
+    "SideEffectCondChecker",
+    "UnreachableCodeChecker",
+    "AllocFreeChecker",
+    "ScaffoldLeakChecker",
+    "DeclBeforeUseChecker",
+    "ParseCoverageChecker",
+]
+
+#: APIs with no bounds checking at all (CWE-120 family).
+_DANGEROUS_CALLS = frozenset({"strcpy", "strcat", "sprintf", "vsprintf", "gets", "stpcpy"})
+
+#: Length-taking copy APIs whose size argument should be derived, not raw.
+_SIZED_COPIES = frozenset({"memcpy", "memmove"})
+
+#: Allocators whose result should be freed, returned, or escape the function.
+_ALLOCATORS = frozenset(
+    {"malloc", "calloc", "realloc", "strdup", "strndup", "kmalloc", "kzalloc", "vmalloc"}
+)
+
+#: Deallocation entry points.
+_FREES = frozenset({"free", "kfree", "vfree"})
+
+#: Identifier prefix of Fig. 5 scaffolding (see repro.synthesis.variants).
+SCAFFOLD_PREFIX = "_SYS_"
+
+#: A file is reported when the parser skipped more than this fraction of it.
+OPAQUE_RATIO_THRESHOLD = 0.6
+
+
+class Checker:
+    """Base class: a named, severity-classed check over one file."""
+
+    #: Unique id used in findings, CLI filters, and the feature channel.
+    id: str = ""
+    #: Default severity of this checker's findings.
+    severity: Severity = Severity.WARNING
+    #: One-line description (surfaced by ``repro lint --list-checkers``).
+    description: str = ""
+
+    def check(self, ctx: CheckContext) -> list[Finding]:
+        """Run the check; override in subclasses."""
+        raise NotImplementedError
+
+    def finding(self, ctx: CheckContext, line: int, message: str, severity: Severity | None = None) -> Finding:
+        """Construct a finding attributed to *line* of the context's file."""
+        return Finding(
+            checker=self.id,
+            severity=severity if severity is not None else self.severity,
+            path=ctx.path,
+            line=line,
+            message=message,
+            function=ctx.function_at(line),
+        )
+
+
+class DangerousApiChecker(Checker):
+    """Flags unbounded string/memory APIs (token-level, covers opaque code)."""
+
+    id = "dangerous-api"
+    severity = Severity.WARNING
+    description = "strcpy/sprintf-family calls and memcpy with a raw length"
+
+    def check(self, ctx: CheckContext) -> list[Finding]:
+        out: list[Finding] = []
+        tokens = ctx.tokens
+        for i, tok in enumerate(tokens):
+            if tok.kind is not TokenKind.IDENTIFIER or i + 1 >= len(tokens):
+                continue
+            if tokens[i + 1].text != "(":
+                continue
+            if tok.text in _DANGEROUS_CALLS:
+                out.append(
+                    self.finding(ctx, tok.line, f"call to {tok.text}() performs no bounds checking")
+                )
+            elif tok.text in _SIZED_COPIES:
+                args = _call_args(tokens, i + 1)
+                if len(args) == 3 and not _is_derived_length(args[2]):
+                    out.append(
+                        self.finding(
+                            ctx,
+                            tok.line,
+                            f"{tok.text}() length is neither a constant nor sizeof-derived",
+                        )
+                    )
+        return out
+
+
+def _call_args(tokens, open_idx: int) -> list[list]:
+    """Split the argument tokens of a call whose '(' sits at *open_idx*."""
+    args: list[list] = [[]]
+    depth = 0
+    for tok in tokens[open_idx:]:
+        if tok.text in ("(", "["):
+            depth += 1
+            if depth == 1:
+                continue
+        elif tok.text in (")", "]"):
+            depth -= 1
+            if depth == 0:
+                break
+        elif tok.text == "," and depth == 1:
+            args.append([])
+            continue
+        if depth >= 1:
+            args[-1].append(tok)
+    return args if args != [[]] else []
+
+
+def _is_derived_length(arg_tokens) -> bool:
+    """True when a length argument is a literal or mentions sizeof/strlen."""
+    for tok in arg_tokens:
+        if tok.kind is TokenKind.NUMBER:
+            return True
+        if tok.text in ("sizeof", "strlen", "strnlen"):
+            return True
+    return False
+
+
+class MissingCheckChecker(Checker):
+    """Indexing/deref through values never validated by any earlier condition."""
+
+    id = "missing-check"
+    severity = Severity.WARNING
+    description = "array index or pointer parameter used without a prior check"
+
+    def check(self, ctx: CheckContext) -> list[Finding]:
+        out: list[Finding] = []
+        for fn in ctx.functions:
+            out.extend(self._check_function(ctx, fn))
+        return out
+
+    def _check_function(self, ctx: CheckContext, fn: FunctionDef) -> list[Finding]:
+        # Identifier -> earliest line it is mentioned by a condition.
+        checked_at: dict[str, int] = {}
+        for site in ctx.condition_sites():
+            if not (fn.start_line <= site.line <= fn.end_line):
+                continue
+            for tok in code_tokens(site.text):
+                if tok.kind is TokenKind.IDENTIFIER:
+                    checked_at.setdefault(tok.text, site.line)
+
+        pointer_params = _pointer_params(fn.params_text)
+        tokens = ctx.function_tokens(fn)
+        out: list[Finding] = []
+        seen: set[tuple[str, str]] = set()
+        for i, tok in enumerate(tokens):
+            if tok.kind is not TokenKind.IDENTIFIER:
+                continue
+            # buf[idx] with a variable index never seen by a condition.
+            if (
+                i + 3 < len(tokens)
+                and tokens[i + 1].text == "["
+                and tokens[i + 2].kind is TokenKind.IDENTIFIER
+                and tokens[i + 3].text == "]"
+            ):
+                idx = tokens[i + 2]
+                key = ("index", idx.text)
+                if key not in seen and checked_at.get(idx.text, idx.line + 1) > idx.line:
+                    seen.add(key)
+                    out.append(
+                        self.finding(
+                            ctx,
+                            idx.line,
+                            f"index '{idx.text}' used without a prior bounds check",
+                        )
+                    )
+            # p->field where p is a pointer parameter never null-checked.
+            if (
+                tok.text in pointer_params
+                and i + 1 < len(tokens)
+                and tokens[i + 1].text == "->"
+            ):
+                key = ("deref", tok.text)
+                if key not in seen and checked_at.get(tok.text, tok.line + 1) > tok.line:
+                    seen.add(key)
+                    out.append(
+                        self.finding(
+                            ctx,
+                            tok.line,
+                            f"pointer parameter '{tok.text}' dereferenced without a NULL check",
+                        )
+                    )
+        return out
+
+
+def _pointer_params(params_text: str) -> set[str]:
+    """Names of pointer-typed parameters in a parameter list's text."""
+    out: set[str] = set()
+    toks = code_tokens(params_text)
+    for i, tok in enumerate(toks):
+        if tok.text == "*" and i + 1 < len(toks) and toks[i + 1].kind is TokenKind.IDENTIFIER:
+            nxt = toks[i + 2].text if i + 2 < len(toks) else ")"
+            if nxt in (",", ")", "[", ""):
+                out.add(toks[i + 1].text)
+    return out
+
+
+class SideEffectCondChecker(Checker):
+    """Assignments, ``++``/``--``, or calls inside condition expressions.
+
+    Gate-class: the corpus generators never emit side-effecting conditions
+    and the Fig. 5 templates require their absence, so any hit is either a
+    generator bug or an unsound synthesis input.
+    """
+
+    id = "side-effect-cond"
+    severity = Severity.GATE
+    description = "side-effecting expression inside an if/while/switch condition"
+
+    def check(self, ctx: CheckContext) -> list[Finding]:
+        out: list[Finding] = []
+        for site in ctx.condition_sites():
+            for effect in expression_side_effects(site.text):
+                out.append(
+                    self.finding(
+                        ctx,
+                        site.line,
+                        f"{site.kind} condition has a side effect: {effect.describe()}",
+                    )
+                )
+        return out
+
+
+class UnreachableCodeChecker(Checker):
+    """Statements following an unconditional jump inside the same block."""
+
+    id = "unreachable"
+    severity = Severity.WARNING
+    description = "code after return/goto/break/continue in the same block"
+
+    _JUMPS = (ReturnStmt, GotoStmt, BreakStmt, ContinueStmt)
+
+    def check(self, ctx: CheckContext) -> list[Finding]:
+        out: list[Finding] = []
+        for fn in ctx.functions:
+            for node in walk(fn):
+                if not isinstance(node, BlockStmt):
+                    continue
+                jumped = False
+                for stmt in node.stmts:
+                    if jumped:
+                        # Labels and case arms are legitimate jump targets.
+                        if isinstance(stmt, (CaseLabel, LabelStmt)):
+                            jumped = False
+                            continue
+                        out.append(
+                            self.finding(ctx, stmt.start_line, "statement is unreachable")
+                        )
+                        break  # one finding per block is enough
+                    if isinstance(stmt, self._JUMPS):
+                        jumped = True
+        return out
+
+
+class AllocFreeChecker(Checker):
+    """Per-function alloc/free imbalance: leaks and double frees."""
+
+    id = "alloc-free"
+    severity = Severity.INFO
+    description = "locally allocated pointer never freed/escaping, or freed twice"
+
+    def check(self, ctx: CheckContext) -> list[Finding]:
+        out: list[Finding] = []
+        for fn in ctx.functions:
+            out.extend(self._check_function(ctx, fn))
+        return out
+
+    def _check_function(self, ctx: CheckContext, fn: FunctionDef) -> list[Finding]:
+        tokens = ctx.function_tokens(fn)
+        allocated: dict[str, int] = {}  # ident -> alloc line
+        freed: dict[str, list[int]] = {}
+        escaped: set[str] = set()
+        in_return_until: int = -1
+
+        for i, tok in enumerate(tokens):
+            if tok.kind is TokenKind.KEYWORD and tok.text == "return":
+                in_return_until = tok.line
+            if tok.kind is not TokenKind.IDENTIFIER:
+                continue
+            nxt = tokens[i + 1].text if i + 1 < len(tokens) else ""
+            if tok.text in _ALLOCATORS and nxt == "(":
+                target = _assignment_target(tokens, i)
+                if target:
+                    allocated.setdefault(target, tok.line)
+                continue
+            if tok.text in _FREES and nxt == "(":
+                if i + 2 < len(tokens) and tokens[i + 2].kind is TokenKind.IDENTIFIER:
+                    freed.setdefault(tokens[i + 2].text, []).append(tok.line)
+                continue
+            # Escapes: returned, passed to a call, or copied to another lvalue.
+            prev = tokens[i - 1].text if i > 0 else ""
+            if tok.line == in_return_until:
+                escaped.add(tok.text)
+            elif prev in ("(", ",") or (prev == "=" and nxt in (";", ",")):
+                escaped.add(tok.text)
+
+        out: list[Finding] = []
+        for ident, line in sorted(allocated.items(), key=lambda kv: kv[1]):
+            if ident not in freed and ident not in escaped:
+                out.append(
+                    self.finding(
+                        ctx, line, f"'{ident}' is allocated but never freed, returned, or passed on"
+                    )
+                )
+        for ident, lines in sorted(freed.items()):
+            if len(lines) > 1:
+                out.append(
+                    self.finding(
+                        ctx,
+                        lines[1],
+                        f"'{ident}' freed {len(lines)} times in one function (possible double free)",
+                    )
+                )
+        return out
+
+
+def _assignment_target(tokens, alloc_idx: int) -> str:
+    """The identifier assigned from an allocator call, skipping casts."""
+    j = alloc_idx - 1
+    # Skip a cast like '(char *)' directly before the allocator.
+    if j >= 0 and tokens[j].text == ")":
+        depth = 1
+        j -= 1
+        while j >= 0 and depth:
+            if tokens[j].text == ")":
+                depth += 1
+            elif tokens[j].text == "(":
+                depth -= 1
+            j -= 1
+    if j >= 0 and tokens[j].text == "=" and j >= 1 and tokens[j - 1].kind is TokenKind.IDENTIFIER:
+        return tokens[j - 1].text
+    return ""
+
+
+class ScaffoldLeakChecker(Checker):
+    """``_SYS_`` scaffold identifiers outside synthesis output.
+
+    The Fig. 5 templates own the ``_SYS_`` namespace; corpus files and
+    natural patches must never contain it, so a hit means synthetic text
+    leaked into a place it does not belong.
+    """
+
+    id = "scaffold-leak"
+    severity = Severity.GATE
+    description = "_SYS_ synthesis-scaffold identifier outside synthesis output"
+
+    def check(self, ctx: CheckContext) -> list[Finding]:
+        out: list[Finding] = []
+        seen: set[str] = set()
+        for tok in ctx.tokens:
+            if (
+                tok.kind is TokenKind.IDENTIFIER
+                and tok.text.startswith(SCAFFOLD_PREFIX)
+                and tok.text not in seen
+            ):
+                seen.add(tok.text)
+                out.append(
+                    self.finding(ctx, tok.line, f"scaffold identifier '{tok.text}' leaked here")
+                )
+        return out
+
+
+class DeclBeforeUseChecker(Checker):
+    """A local used on a line before its (only) declaration in the function."""
+
+    id = "decl-use"
+    severity = Severity.WARNING
+    description = "identifier used before its local declaration"
+
+    def check(self, ctx: CheckContext) -> list[Finding]:
+        out: list[Finding] = []
+        for fn in ctx.functions:
+            decls: dict[str, list[int]] = {}
+            for node in walk(fn):
+                if isinstance(node, DeclStmt):
+                    for name in _declared_names(node.text):
+                        decls.setdefault(name, []).append(node.start_line)
+            params = {t.text for t in code_tokens(fn.params_text) if t.kind is TokenKind.IDENTIFIER}
+            flagged: set[str] = set()
+            for tok in ctx.function_tokens(fn):
+                if tok.kind is not TokenKind.IDENTIFIER or tok.text in params:
+                    continue
+                lines = decls.get(tok.text)
+                # Only single-declaration names: shadowing makes multi-decl
+                # cases ambiguous at this level of analysis.
+                if lines and len(lines) == 1 and tok.line < lines[0] and tok.text not in flagged:
+                    flagged.add(tok.text)
+                    out.append(
+                        self.finding(
+                            ctx,
+                            tok.line,
+                            f"'{tok.text}' used before its declaration on line {lines[0]}",
+                        )
+                    )
+        return out
+
+
+def _declared_names(decl_text: str) -> list[str]:
+    """Declared identifiers in a declaration statement's source text."""
+    toks = code_tokens(decl_text)
+    names: list[str] = []
+    depth = 0
+    for i, tok in enumerate(toks):
+        if tok.text in ("(", "["):
+            depth += 1
+            continue
+        if tok.text in (")", "]"):
+            depth -= 1
+            continue
+        if depth or tok.kind is not TokenKind.IDENTIFIER:
+            continue
+        prev = toks[i - 1] if i > 0 else None
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ";"
+        # A name position: not the leading type word, and terminated like a
+        # declarator ('int a, b = 2;' -> a, b; 'size_t tmp;' -> tmp).
+        if nxt in (",", ";", "=", "["):
+            if prev is not None and prev.kind is TokenKind.IDENTIFIER and i == 1:
+                names.append(tok.text)  # 'size_t tmp' — tmp is the declarator
+            elif prev is None:
+                continue  # first token can't be a declarator
+            else:
+                names.append(tok.text)
+    return names
+
+
+class ParseCoverageChecker(Checker):
+    """Parse failures (gate) and files mostly skipped as opaque (warning)."""
+
+    id = "parse-coverage"
+    severity = Severity.WARNING
+    description = "file failed to parse, or most of it was skipped as opaque"
+
+    def check(self, ctx: CheckContext) -> list[Finding]:
+        ctx.unit  # noqa: B018 - trigger the lazy parse so parse_error is set
+        if ctx.parse_error is not None:
+            severity = Severity.WARNING if ctx.is_fragment else Severity.GATE
+            return [self.finding(ctx, 1, f"file failed to parse: {ctx.parse_error}", severity)]
+        if ctx.is_fragment or not ctx.path.endswith(".c"):
+            return []
+        code, opaque = ctx.coverage()
+        if code >= 5 and opaque / code > OPAQUE_RATIO_THRESHOLD:
+            return [
+                self.finding(
+                    ctx,
+                    1,
+                    f"{opaque}/{code} code lines ({opaque / code:.0%}) skipped as opaque regions",
+                )
+            ]
+        return []
+
+
+#: Registry, in the canonical order used by the feature channel.
+_REGISTRY: tuple[type[Checker], ...] = (
+    DangerousApiChecker,
+    MissingCheckChecker,
+    SideEffectCondChecker,
+    UnreachableCodeChecker,
+    AllocFreeChecker,
+    ScaffoldLeakChecker,
+    DeclBeforeUseChecker,
+    ParseCoverageChecker,
+)
+
+#: Canonical checker ids, in registry order.
+CHECKER_IDS: tuple[str, ...] = tuple(cls.id for cls in _REGISTRY)
+
+_BY_ID = {cls.id: cls for cls in _REGISTRY}
+
+
+def make_checkers(ids: tuple[str, ...] | list[str] | None = None) -> list[Checker]:
+    """Instantiate checkers by id (all of them when *ids* is None).
+
+    Raises:
+        StaticCheckError: for an unknown checker id.
+    """
+    if ids is None:
+        ids = CHECKER_IDS
+    unknown = [i for i in ids if i not in _BY_ID]
+    if unknown:
+        raise StaticCheckError(
+            f"unknown checker id(s): {', '.join(unknown)} (choose from {', '.join(CHECKER_IDS)})"
+        )
+    return [_BY_ID[i]() for i in ids]

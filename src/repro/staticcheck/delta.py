@@ -1,0 +1,130 @@
+"""Checker-delta features: what a patch does to static-analysis findings.
+
+A security patch typically *removes* findings (it adds the missing bounds
+check, replaces the strcpy) while feature-neutral churn doesn't, so the
+per-checker delta between a commit's BEFORE and AFTER trees is a plausible
+signal on top of the 60 syntactic Table I features.  This module computes,
+for each checker, how many findings the patch removed and how many it
+introduced — a 16-dimensional extension block appended to the base matrix
+in the Table VI-style ablation
+(:func:`~repro.analysis.experiments.run_checkdelta_ablation`).
+
+File-level counts are memoized by ``(path, text digest)``: consecutive
+commits share almost all file contents, so a world-wide sweep lints each
+distinct blob once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+
+import numpy as np
+
+from ..obs import ObsRegistry
+from .analyzer import CODE_SUFFIXES, analyze_source
+from .checkers import CHECKER_IDS, make_checkers
+
+__all__ = [
+    "DELTA_FEATURE_NAMES",
+    "DELTA_FEATURE_COUNT",
+    "CheckerDeltaCache",
+    "extend_matrix",
+]
+
+#: Names of the extension block: removed/introduced per checker, in
+#: registry order.
+DELTA_FEATURE_NAMES: tuple[str, ...] = tuple(
+    f"delta_{direction}_{checker_id.replace('-', '_')}"
+    for checker_id in CHECKER_IDS
+    for direction in ("removed", "introduced")
+)
+
+DELTA_FEATURE_COUNT = len(DELTA_FEATURE_NAMES)
+
+
+class CheckerDeltaCache:
+    """sha → 16-dim checker-delta vector for one world's commits.
+
+    Args:
+        world: the world holding repositories and patches.
+        obs: observability registry (``delta`` timer,
+            ``delta_vectors``/``delta_blob_cache_hits`` counters).
+    """
+
+    def __init__(self, world, obs: ObsRegistry | None = None) -> None:
+        self._world = world
+        self._checkers = make_checkers()
+        self._blob_counts: dict[tuple[str, str], Counter] = {}
+        self._vectors: dict[str, np.ndarray] = {}
+        self.obs = obs if obs is not None else ObsRegistry()
+
+    def _counts(self, path: str, text: str) -> Counter:
+        """Per-checker finding counts for one file text (blob-memoized)."""
+        key = (path, hashlib.sha1(text.encode("utf-8", "replace")).hexdigest())
+        cached = self._blob_counts.get(key)
+        if cached is not None:
+            self.obs.add("delta_blob_cache_hits")
+            return cached
+        report = analyze_source(path, text, self._checkers)
+        counts = Counter(f.checker for f in report.findings)
+        self._blob_counts[key] = counts
+        return counts
+
+    def vector(self, sha: str) -> np.ndarray:
+        """The (16,) removed/introduced vector for one commit.
+
+        Deltas are computed per touched code file and then summed, so a
+        finding removed in one file cannot cancel one introduced in
+        another.
+        """
+        vec = self._vectors.get(sha)
+        if vec is not None:
+            return vec
+        with self.obs.timer("delta"):
+            repo = self._world.repo_of(sha)
+            before_tree, after_tree = repo.before_after(sha)
+            patch = self._world.patch_for(sha)
+            removed: Counter = Counter()
+            introduced: Counter = Counter()
+            for fdiff in patch.files:
+                path = fdiff.path
+                if not path.endswith(CODE_SUFFIXES):
+                    continue
+                before = self._counts(path, before_tree.get(path, ""))
+                after = self._counts(path, after_tree.get(path, ""))
+                for checker_id in CHECKER_IDS:
+                    diff = after.get(checker_id, 0) - before.get(checker_id, 0)
+                    if diff > 0:
+                        introduced[checker_id] += diff
+                    elif diff < 0:
+                        removed[checker_id] += -diff
+            vec = np.array(
+                [
+                    float(counter.get(checker_id, 0))
+                    for checker_id in CHECKER_IDS
+                    for counter in (removed, introduced)
+                ],
+                dtype=np.float64,
+            )
+        self._vectors[sha] = vec
+        self.obs.add("delta_vectors")
+        return vec
+
+    def matrix(self, shas: list[str]) -> np.ndarray:
+        """Stack delta vectors for *shas* into an ``(N, 16)`` matrix."""
+        if not shas:
+            return np.zeros((0, DELTA_FEATURE_COUNT), dtype=np.float64)
+        return np.vstack([self.vector(s) for s in shas])
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+
+def extend_matrix(base: np.ndarray, deltas: np.ndarray) -> np.ndarray:
+    """Append the delta block to a base feature matrix (row-aligned)."""
+    if base.shape[0] != deltas.shape[0]:
+        raise ValueError(
+            f"row mismatch: base has {base.shape[0]} rows, deltas {deltas.shape[0]}"
+        )
+    return np.hstack([base, deltas])

@@ -1,0 +1,287 @@
+"""CFG-equivalence checking for Fig. 5 synthesis output.
+
+A variant-transformed function must branch exactly like the original: the
+scaffolding (constant guards, hoisted flags, flag-setting ``if``s) changes
+the *syntax* of one condition, never the *control flow*.  This module
+verifies that by descaffolding: it parses the transformed text, strips the
+``_SYS_`` scaffold declarations and flag-toggle ``if``s, substitutes each of
+the eight known template shapes back to the original condition, and
+compares the resulting statement-level signature against the original's.
+
+The signature is a nested tuple per function — statement kinds plus
+token-normalized expression text — i.e. a control-flow skeleton.  Equal
+skeletons mean every branch tests the same (normalized) condition and every
+branch arm contains the same statements in the same order.
+
+This is the second half of the validation gate: parse-coverage proves the
+corpus is analyzable, :func:`cfg_equivalent` proves the synthesis
+transformations are sound.
+"""
+
+from __future__ import annotations
+
+from ..lang.ast_nodes import (
+    BlockStmt,
+    BreakStmt,
+    CaseLabel,
+    ContinueStmt,
+    DeclStmt,
+    DoWhileStmt,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    GotoStmt,
+    IfStmt,
+    LabelStmt,
+    NullStmt,
+    ReturnStmt,
+    Stmt,
+    SwitchStmt,
+    WhileStmt,
+)
+from ..lang.lexer import code_tokens
+from .checkers import SCAFFOLD_PREFIX
+
+__all__ = ["cfg_signature", "descaffolded_signature", "cfg_equivalent"]
+
+
+def _norm(text: str) -> str:
+    """Token-normalized expression text (whitespace/newline insensitive)."""
+    return " ".join(t.text for t in code_tokens(text))
+
+
+def _strip_parens(texts: list[str]) -> list[str]:
+    """Remove redundant full-width outer parentheses, repeatedly."""
+    while len(texts) >= 2 and texts[0] == "(" and texts[-1] == ")":
+        depth = 0
+        for i, t in enumerate(texts):
+            if t == "(":
+                depth += 1
+            elif t == ")":
+                depth -= 1
+                if depth == 0 and i < len(texts) - 1:
+                    return texts  # outer parens don't span the whole expr
+        texts = texts[1:-1]
+    return texts
+
+
+def _norm_cond(text: str) -> str:
+    """Normalized condition: tokenized, outer parens stripped."""
+    return " ".join(_strip_parens([t.text for t in code_tokens(text)]))
+
+
+class _Scaffold:
+    """What one ``_SYS_`` identifier stands for.
+
+    kind is one of ``const0``/``const1`` (variants 1-2), ``hoist``
+    (variants 3-4, the hoisted condition), or ``flag_set``/``flag_clear``
+    (variants 5-8, after the flag-toggle ``if`` is absorbed).  ``cond`` is
+    the normalized hoisted/original condition; for ``hoist``, ``inner`` is
+    the condition with one leading ``!`` stripped (None when the hoisted
+    expression is not a negation) — variant 3 hoists ``c`` and tests
+    ``1 == STMT``, variant 4 hoists ``!(c)`` and tests ``!STMT``, and a
+    negated original condition makes the two declarations look alike, so
+    both readings are kept.
+    """
+
+    __slots__ = ("kind", "cond", "inner")
+
+    def __init__(self, kind: str, cond: str = "", inner: str | None = None) -> None:
+        self.kind = kind
+        self.cond = cond
+        self.inner = inner
+
+
+def _scan_scaffold_decl(text: str) -> tuple[str, _Scaffold] | None:
+    """Recognize a scaffold declaration; returns (identifier, scaffold)."""
+    texts = [t.text for t in code_tokens(text)]
+    if texts and texts[-1] == ";":
+        texts = texts[:-1]
+    if texts[:1] == ["const"]:
+        texts = texts[1:]
+    if len(texts) < 4 or texts[0] != "int" or not texts[1].startswith(SCAFFOLD_PREFIX):
+        return None
+    name = texts[1]
+    if texts[2] != "=":
+        return None
+    rhs = _strip_parens(texts[3:])
+    if rhs == ["0"]:
+        return name, _Scaffold("const0" if "_SYS_ZERO_" in name else "flag_init0")
+    if rhs == ["1"]:
+        return name, _Scaffold("const1" if "_SYS_ONE_" in name else "flag_init1")
+    inner = " ".join(_strip_parens(rhs[1:])) if rhs[:1] == ["!"] else None
+    return name, _Scaffold("hoist", " ".join(rhs), inner)
+
+
+def _flag_toggle(stmt: IfStmt) -> tuple[str, str, str] | None:
+    """Recognize ``if (cond) { _SYS_VAL_x = 0|1; }``; returns (name, value, cond)."""
+    then = stmt.then
+    if isinstance(then, BlockStmt) and len(then.stmts) == 1:
+        then = then.stmts[0]
+    if not isinstance(then, ExprStmt) or stmt.orelse is not None:
+        return None
+    texts = [t.text for t in code_tokens(then.text)]
+    if texts and texts[-1] == ";":
+        texts = texts[:-1]
+    if (
+        len(texts) == 3
+        and texts[0].startswith(SCAFFOLD_PREFIX)
+        and texts[1] == "="
+        and texts[2] in ("0", "1")
+    ):
+        return texts[0], texts[2], _norm_cond(stmt.cond.text)
+    return None
+
+
+def _resolve_cond(text: str, env: dict[str, _Scaffold]) -> str:
+    """Substitute a known template shape back to the original condition."""
+    texts = _strip_parens([t.text for t in code_tokens(text)])
+    if not texts:
+        return ""
+
+    def done(ts: list[str]) -> str:
+        return " ".join(_strip_parens(ts))
+
+    head = texts[0]
+    sc = env.get(head)
+    if sc is not None:
+        # v1: ZERO || c          v2: ONE && c          v7: VAL && c
+        if sc.kind == "const0" and texts[1:2] == ["||"]:
+            return done(texts[2:])
+        if sc.kind == "const1" and texts[1:2] == ["&&"]:
+            return done(texts[2:])
+        if sc.kind == "flag_set" and texts[1:2] == ["&&"] and done(texts[2:]) == sc.cond:
+            return sc.cond
+        # v5: VAL (flag set on cond)
+        if sc.kind == "flag_set" and len(texts) == 1:
+            return sc.cond
+    if head == "!" and len(texts) >= 2:
+        sc = env.get(texts[1])
+        if sc is not None:
+            # v4: !STMT where STMT = !(c)
+            if sc.kind == "hoist" and sc.inner is not None and len(texts) == 2:
+                return sc.inner
+            # v6: !VAL (flag cleared on cond)
+            if sc.kind == "flag_clear" and len(texts) == 2:
+                return sc.cond
+            # v8: !VAL || c
+            if sc.kind == "flag_clear" and texts[2:3] == ["||"] and done(texts[3:]) == sc.cond:
+                return sc.cond
+    # v3: 1 == STMT where STMT = c
+    if len(texts) == 3 and texts[0] == "1" and texts[1] == "==":
+        sc = env.get(texts[2])
+        if sc is not None and sc.kind == "hoist":
+            return sc.cond
+    return " ".join(texts)
+
+
+def _sig_block(stmts: list[Stmt], env: dict[str, _Scaffold], descaffold: bool) -> tuple:
+    out: list[tuple] = []
+    for stmt in stmts:
+        if descaffold:
+            if isinstance(stmt, DeclStmt):
+                found = _scan_scaffold_decl(stmt.text)
+                if found is not None:
+                    env[found[0]] = found[1]
+                    continue
+            if isinstance(stmt, IfStmt):
+                toggle = _flag_toggle(stmt)
+                if toggle is not None:
+                    name, value, cond = toggle
+                    init = env.get(name)
+                    if init is not None and init.kind in ("flag_init0", "flag_init1"):
+                        kind = "flag_set" if value == "1" else "flag_clear"
+                        env[name] = _Scaffold(kind, cond)
+                        continue
+        out.append(_sig_stmt(stmt, env, descaffold))
+    return tuple(out)
+
+
+def _sig_stmt(stmt: Stmt, env: dict[str, _Scaffold], descaffold: bool) -> tuple:
+    def cond_of(text: str) -> str:
+        return _resolve_cond(text, env) if descaffold else _norm_cond(text)
+
+    if isinstance(stmt, BlockStmt):
+        return ("block", _sig_block(stmt.stmts, env, descaffold))
+    if isinstance(stmt, IfStmt):
+        return (
+            "if",
+            cond_of(stmt.cond.text),
+            _sig_stmt(stmt.then, env, descaffold),
+            _sig_stmt(stmt.orelse, env, descaffold) if stmt.orelse is not None else None,
+        )
+    if isinstance(stmt, WhileStmt):
+        return ("while", cond_of(stmt.cond.text), _sig_stmt(stmt.body, env, descaffold))
+    if isinstance(stmt, DoWhileStmt):
+        return ("do-while", cond_of(stmt.cond.text), _sig_stmt(stmt.body, env, descaffold))
+    if isinstance(stmt, ForStmt):
+        return ("for", _norm(stmt.clauses), _sig_stmt(stmt.body, env, descaffold))
+    if isinstance(stmt, SwitchStmt):
+        return ("switch", cond_of(stmt.cond.text), _sig_stmt(stmt.body, env, descaffold))
+    if isinstance(stmt, CaseLabel):
+        return ("case", _norm(stmt.label_text))
+    if isinstance(stmt, ReturnStmt):
+        return ("return", _norm(stmt.value_text))
+    if isinstance(stmt, GotoStmt):
+        return ("goto", stmt.label)
+    if isinstance(stmt, BreakStmt):
+        return ("break",)
+    if isinstance(stmt, ContinueStmt):
+        return ("continue",)
+    if isinstance(stmt, LabelStmt):
+        inner = _sig_stmt(stmt.stmt, env, descaffold) if stmt.stmt is not None else None
+        return ("label", stmt.name, inner)
+    if isinstance(stmt, NullStmt):
+        return ("null",)
+    if isinstance(stmt, DeclStmt):
+        return ("decl", _norm(stmt.text))
+    if isinstance(stmt, ExprStmt):
+        return ("expr", _norm(stmt.text))
+    return (type(stmt).__name__,)
+
+
+def _unit_signature(functions: list[FunctionDef], descaffold: bool) -> tuple:
+    out = []
+    for fn in functions:
+        env: dict[str, _Scaffold] = {}
+        out.append((fn.name, _sig_block(fn.body.stmts, env, descaffold)))
+    return tuple(out)
+
+
+def cfg_signature(source: str, path: str = "<memory>") -> tuple:
+    """The control-flow skeleton of *source*: per-function nested tuples.
+
+    Raises:
+        ParseError: via the parser, when *source* cannot be parsed at all.
+    """
+    from ..lang.parser import parse_translation_unit
+
+    unit = parse_translation_unit(source, path)
+    return _unit_signature(list(unit.functions), descaffold=False)
+
+
+def descaffolded_signature(source: str, path: str = "<memory>") -> tuple:
+    """Like :func:`cfg_signature`, but with Fig. 5 scaffolding inverted.
+
+    Scaffold declarations and flag-toggle ``if``s are dropped, and
+    conditions matching one of the eight template shapes are substituted
+    back to the original condition.  Unknown ``_SYS_`` shapes are left in
+    place, so a buggy template shows up as a signature mismatch rather than
+    being silently accepted.
+    """
+    from ..lang.parser import parse_translation_unit
+
+    unit = parse_translation_unit(source, path)
+    return _unit_signature(list(unit.functions), descaffold=True)
+
+
+def cfg_equivalent(original: str, transformed: str) -> bool:
+    """True when *transformed* descaffolds to *original*'s skeleton.
+
+    Either text failing to parse counts as non-equivalent rather than
+    raising: the gate treats that as a finding, not a crash.
+    """
+    try:
+        return cfg_signature(original) == descaffolded_signature(transformed)
+    except Exception:
+        return False

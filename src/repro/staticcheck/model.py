@@ -1,0 +1,240 @@
+"""Findings, per-file reports, and the aggregate lint report.
+
+The model is deliberately flat and JSON-friendly: a CI job consumes the
+report as an artifact (``--format json``), the gate consumes the severity
+partition, and the feature channel consumes per-checker counts — all from
+the same :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import StaticCheckError
+
+__all__ = ["Severity", "Finding", "FileReport", "LintReport"]
+
+#: Report format tag; bumped when the JSON layout changes.
+REPORT_FORMAT = "repro-lint-report-v1"
+
+
+class Severity(enum.Enum):
+    """How a finding participates in the validation gate.
+
+    ``GATE`` findings fail the gate (parse failures, scaffold leaks,
+    side-effecting conditions); ``WARNING``/``INFO`` are advisory and feed
+    the feature channel.
+    """
+
+    GATE = "gate"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One checker hit.
+
+    Attributes:
+        checker: the reporting checker's id.
+        severity: gate participation class.
+        path: file the finding is in.
+        line: 1-based source line.
+        message: human-readable description.
+        function: enclosing function name, when known.
+    """
+
+    checker: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    function: str = ""
+
+    def render(self) -> str:
+        """One-line ``path:line [severity/checker] message`` form."""
+        where = f"{self.path}:{self.line}"
+        fn = f" in {self.function}()" if self.function else ""
+        return f"{where} [{self.severity.value}/{self.checker}] {self.message}{fn}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "checker": self.checker,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "function": self.function,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            checker=data["checker"],
+            severity=Severity(data["severity"]),
+            path=data["path"],
+            line=int(data["line"]),
+            message=data["message"],
+            function=data.get("function", ""),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FileReport:
+    """All findings plus parse-coverage metrics for one file.
+
+    Attributes:
+        path: the analyzed file.
+        findings: checker hits, ordered by (line, checker).
+        parse_failed: the parser raised (gate-class condition).
+        code_lines: lines carrying at least one code token.
+        opaque_lines: code lines outside every parsed function (skipped as
+            opaque by the recursive-descent parser).
+    """
+
+    path: str
+    findings: tuple[Finding, ...] = ()
+    parse_failed: bool = False
+    code_lines: int = 0
+    opaque_lines: int = 0
+
+    @property
+    def opaque_ratio(self) -> float:
+        """Fraction of code lines the parser skipped (0.0 for empty files)."""
+        if self.code_lines <= 0:
+            return 0.0
+        return self.opaque_lines / self.code_lines
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "path": self.path,
+            "parse_failed": self.parse_failed,
+            "code_lines": self.code_lines,
+            "opaque_lines": self.opaque_lines,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FileReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            path=data["path"],
+            findings=tuple(Finding.from_dict(f) for f in data["findings"]),
+            parse_failed=bool(data.get("parse_failed", False)),
+            code_lines=int(data.get("code_lines", 0)),
+            opaque_lines=int(data.get("opaque_lines", 0)),
+        )
+
+
+@dataclass(slots=True)
+class LintReport:
+    """The aggregate result of one lint run."""
+
+    files: list[FileReport] = field(default_factory=list)
+
+    # ---- views --------------------------------------------------------
+
+    def findings(self, severity: Severity | None = None) -> list[Finding]:
+        """All findings, optionally restricted to one severity."""
+        out = [f for fr in self.files for f in fr.findings]
+        if severity is not None:
+            out = [f for f in out if f.severity is severity]
+        return out
+
+    @property
+    def gate_findings(self) -> list[Finding]:
+        """The findings that fail the validation gate."""
+        return self.findings(Severity.GATE)
+
+    def counts_by_checker(self) -> dict[str, int]:
+        """``checker id -> number of findings`` over the whole run."""
+        return dict(Counter(f.checker for fr in self.files for f in fr.findings))
+
+    @property
+    def code_lines(self) -> int:
+        """Total code lines across analyzed files."""
+        return sum(fr.code_lines for fr in self.files)
+
+    @property
+    def opaque_lines(self) -> int:
+        """Total opaque code lines across analyzed files."""
+        return sum(fr.opaque_lines for fr in self.files)
+
+    @property
+    def opaque_ratio(self) -> float:
+        """Corpus-wide fraction of code lines skipped as opaque."""
+        total = self.code_lines
+        return self.opaque_lines / total if total else 0.0
+
+    # ---- rendering ----------------------------------------------------
+
+    def summary(self) -> dict:
+        """Headline numbers (also embedded in the JSON form)."""
+        findings = self.findings()
+        return {
+            "files": len(self.files),
+            "findings": len(findings),
+            "gate_findings": sum(1 for f in findings if f.severity is Severity.GATE),
+            "parse_failures": sum(1 for fr in self.files if fr.parse_failed),
+            "by_checker": self.counts_by_checker(),
+            "opaque_ratio": round(self.opaque_ratio, 6),
+        }
+
+    def render_text(self, max_findings: int | None = None) -> str:
+        """Human-readable report: findings then a summary block."""
+        lines: list[str] = []
+        shown = 0
+        for fr in self.files:
+            for f in fr.findings:
+                if max_findings is not None and shown >= max_findings:
+                    lines.append(f"... ({len(self.findings()) - shown} more findings)")
+                    break
+                lines.append(f.render())
+                shown += 1
+            else:
+                continue
+            break
+        s = self.summary()
+        lines.append(
+            f"{s['files']} files, {s['findings']} findings "
+            f"({s['gate_findings']} gate-class), "
+            f"opaque ratio {s['opaque_ratio']:.1%}"
+        )
+        for checker, n in sorted(s["by_checker"].items()):
+            lines.append(f"  {checker:>18s}: {n}")
+        return "\n".join(lines)
+
+    # ---- persistence --------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the full report (files + summary) to JSON."""
+        return json.dumps(
+            {
+                "format": REPORT_FORMAT,
+                "summary": self.summary(),
+                "files": [fr.to_dict() for fr in self.files],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "LintReport":
+        """Parse a report produced by :meth:`to_json`.
+
+        Raises:
+            StaticCheckError: when the payload is not a lint report.
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StaticCheckError(f"invalid lint report JSON: {exc}") from exc
+        if not isinstance(data, dict) or data.get("format") != REPORT_FORMAT:
+            raise StaticCheckError("not a repro lint report")
+        return cls(files=[FileReport.from_dict(fr) for fr in data["files"]])

@@ -1,0 +1,86 @@
+"""Seeded-violation fixtures: known-answer tests for the checker suite.
+
+``inject_violation`` plants exactly one violation of a chosen checker class
+into an existing (clean) source file; ``seed_all`` does so for every
+checker.  The recall test lints each mutated file and asserts the matching
+checker fires — a per-checker known-answer harness that keeps heuristic
+drift honest: any future tightening of a checker that stops it catching its
+canonical instance fails the suite immediately.
+
+Payloads are chosen to trip *their* checker without tripping the others,
+so the tests can also assert precision on the injected line.
+"""
+
+from __future__ import annotations
+
+from ..errors import StaticCheckError
+from ..lang.parser import parse_translation_unit
+from .checkers import CHECKER_IDS
+
+__all__ = ["SEEDABLE_CHECKERS", "OPAQUE_FIXTURE", "inject_violation", "seed_all"]
+
+#: One canonical violating statement block per checker (indented two levels
+#: deep is fine anywhere inside a function body).
+_PAYLOADS: dict[str, list[str]] = {
+    "dangerous-api": ["    strcpy(seed_dst, seed_src);"],
+    "missing-check": ["    seed_arr[seed_idx] = 0;"],
+    "side-effect-cond": ["    if (seed_flag++) { seed_flag = 0; }"],
+    "unreachable": ["    do { continue; seed_skip = 1; } while (0);"],
+    "alloc-free": ["    char *seed_leak = malloc(8);"],
+    "scaffold-leak": ["    int _SYS_SEED_leak = 0;"],
+    "decl-use": ["    seed_late = 3;", "    int seed_late;"],
+}
+
+#: Checkers with an injectable in-function payload (all but parse-coverage,
+#: which gets a standalone fixture file instead).
+SEEDABLE_CHECKERS: tuple[str, ...] = tuple(
+    c for c in CHECKER_IDS if c in _PAYLOADS
+)
+
+#: A standalone file the parser models none of: every code line is opaque,
+#: which is exactly what the parse-coverage checker reports.
+OPAQUE_FIXTURE = (
+    "__attribute__((packed)) struct seed_a { int x; };\n"
+    "__attribute__((packed)) struct seed_b { int y; };\n"
+    "__attribute__((packed)) struct seed_c { int z; };\n"
+    "__attribute__((packed)) struct seed_d { int w; };\n"
+    "__attribute__((packed)) struct seed_e { int v; };\n"
+    "__attribute__((packed)) struct seed_f { int u; };\n"
+)
+
+
+def inject_violation(source: str, checker_id: str, path: str = "seed.c") -> str:
+    """Plant one *checker_id* violation at the top of the first function.
+
+    Args:
+        source: a parseable C file with at least one function.
+        checker_id: one of :data:`SEEDABLE_CHECKERS`.
+        path: path used for parse diagnostics.
+
+    Raises:
+        StaticCheckError: for an unseedable checker id or a source with no
+            parseable function to host the payload.
+    """
+    payload = _PAYLOADS.get(checker_id)
+    if payload is None:
+        raise StaticCheckError(
+            f"checker {checker_id!r} has no injectable payload "
+            f"(seedable: {', '.join(SEEDABLE_CHECKERS)})"
+        )
+    unit = parse_translation_unit(source, path)
+    if not unit.functions:
+        raise StaticCheckError(f"{path}: no function to host a seeded violation")
+    body = unit.functions[0].body
+    lines = source.splitlines()
+    # Insert right after the body's opening line, i.e. first in the block.
+    insert_at = body.start_line
+    out = lines[:insert_at] + payload + lines[insert_at:]
+    return "\n".join(out) + ("\n" if source.endswith("\n") else "")
+
+
+def seed_all(source: str, path: str = "seed.c") -> dict[str, str]:
+    """One mutated copy of *source* per seedable checker, plus the opaque
+    fixture under ``"parse-coverage"``."""
+    out = {c: inject_violation(source, c, path) for c in SEEDABLE_CHECKERS}
+    out["parse-coverage"] = OPAQUE_FIXTURE
+    return out

@@ -7,9 +7,12 @@ The scaffolding identifiers carry a ``_SYS_`` prefix and a unique suffix so
 several variants can stack in one function without collisions.
 
 Equivalence assumes ``COND`` has no side effects — variants 3-8 evaluate it
-(at most) twice.  The corpus generator never emits side-effecting
-conditions; for arbitrary real-world code a side-effect check would be
-needed first (the paper's tool shares this assumption).
+(at most) twice.  :func:`apply_variant_text` enforces that assumption with
+:func:`repro.lang.sideeffects.expression_side_effects` and refuses (raises
+:class:`SynthesisError`) to rewrite a side-effecting condition, so the
+engine simply skips such sites.  The corpus generator never emits them; the
+check matters for arbitrary real-world code (the paper's tool shares the
+assumption without enforcing it).
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import SynthesisError
+from ..lang.sideeffects import expression_side_effects
 
 __all__ = ["Variant", "VARIANTS", "apply_variant_text", "N_VARIANTS"]
 
@@ -60,7 +64,11 @@ class Variant:
             return [f"{indent}int {stmt} = {c};"], f"1 == {stmt}"
         if v == 4:
             stmt = f"_SYS_STMT_{suffix}"
-            return [f"{indent}int {stmt} = !{c};"], f"!{stmt}"
+            # '!' binds tighter than comparison operators, so the hoisted
+            # negation must parenthesize even "simple" conditions: for
+            # c == 'a > 1', '!a > 1' would negate only 'a'.
+            negated = f"!{c}" if c.startswith("(") else f"!({c})"
+            return [f"{indent}int {stmt} = {negated};"], f"!{stmt}"
         if v == 5:
             val = f"_SYS_VAL_{suffix}"
             pre = [
@@ -143,7 +151,10 @@ def apply_variant_text(
         The transformed file text.
 
     Raises:
-        SynthesisError: if the coordinates do not resolve to parentheses.
+        SynthesisError: if the coordinates do not resolve to parentheses, or
+            if the condition has side effects (assignment, ``++``/``--``, or
+            a function call) — variants 3-8 may evaluate it twice, so
+            rewriting such a condition would not be behavior-preserving.
     """
     lines = source.splitlines()
     open_line, open_col = cond_open
@@ -161,6 +172,14 @@ def apply_variant_text(
         parts.extend(lines[ln - 1] for ln in range(open_line + 1, close_line))
         parts.append(lines[close_line - 1][: close_col - 1])
         cond = " ".join(p.strip() for p in parts)
+
+    effects = expression_side_effects(cond)
+    if effects:
+        raise SynthesisError(
+            f"condition {cond.strip()!r} has side effects "
+            f"({', '.join(e.describe() for e in effects)}); "
+            "rewriting it would not be behavior-preserving"
+        )
 
     indent = lines[if_line - 1][: len(lines[if_line - 1]) - len(lines[if_line - 1].lstrip())]
     pre_lines, new_cond = variant.rewrite(cond.strip(), suffix, indent)

@@ -176,3 +176,41 @@ class TestTable6:
         for _, _, _, p, r in run_table6(experiment_world).rows:
             assert 0.0 <= p <= 1.0
             assert 0.0 <= r <= 1.0
+
+
+class TestCheckDeltaAblation:
+    def test_row_structure(self, experiment_world):
+        from repro.analysis import run_checkdelta_ablation
+
+        result = run_checkdelta_ablation(experiment_world, seed=0)
+        assert len(result.rows) == 6  # 3 feature sets x 2 test sets
+        feats = {r[0] for r in result.rows}
+        tests = {r[1] for r in result.rows}
+        assert feats == {"table1-60", "table1+delta", "delta-16"}
+        assert tests == {"NVD", "Wild"}
+        for _, _, p, r, f1 in result.rows:
+            assert 0.0 <= p <= 1.0
+            assert 0.0 <= r <= 1.0
+            assert 0.0 <= f1 <= 1.0
+
+    def test_deterministic(self, experiment_world):
+        from repro.analysis import run_checkdelta_ablation
+
+        a = run_checkdelta_ablation(experiment_world, seed=0)
+        b = run_checkdelta_ablation(experiment_world, seed=0)
+        assert a.rows == b.rows
+
+    def test_table_renders(self, experiment_world):
+        from repro.analysis import run_checkdelta_ablation
+
+        text = run_checkdelta_ablation(experiment_world, seed=0).table()
+        assert "Features" in text
+        assert "table1+delta" in text
+
+    def test_delta_matrix_shape(self, experiment_world):
+        from repro.staticcheck import DELTA_FEATURE_COUNT
+
+        shas = experiment_world.nvd_seed_shas[:3]
+        mat = experiment_world.deltas.matrix(shas)
+        assert mat.shape == (len(shas), DELTA_FEATURE_COUNT)
+        assert DELTA_FEATURE_COUNT == 16

@@ -95,3 +95,35 @@ class TestPersistence:
         path = tmp_path / "empty.jsonl"
         PatchDB().save_jsonl(path)
         assert len(PatchDB.load_jsonl(path)) == 0
+
+
+class TestStreaming:
+    def test_iter_jsonl_is_lazy(self, records, tmp_path):
+        path = tmp_path / "patchdb.jsonl"
+        PatchDB(records).save_jsonl(path)
+        it = PatchDB.iter_jsonl(path)
+        first = next(it)
+        assert first.patch.sha == records[0].patch.sha
+        assert len(list(it)) == len(records) - 1
+
+    def test_write_jsonl_accepts_a_generator(self, records, tmp_path):
+        path = tmp_path / "gen.jsonl"
+        n = PatchDB.write_jsonl((r for r in records), path)
+        assert n == len(records)
+        back = PatchDB.load_jsonl(path)
+        assert len(back) == len(records)
+        assert [r.patch.sha for r in back] == [r.patch.sha for r in records]
+
+    def test_streaming_round_trip_preserves_fields(self, records, tmp_path):
+        path = tmp_path / "rt.jsonl"
+        PatchDB.write_jsonl(iter(records), path)
+        for orig, back in zip(records, PatchDB.iter_jsonl(path)):
+            assert back.source == orig.source
+            assert back.is_security == orig.is_security
+            assert back.pattern_type == orig.pattern_type
+
+    def test_iter_jsonl_skips_blank_lines(self, records, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        PatchDB(records).save_jsonl(path)
+        path.write_text(path.read_text().replace("\n", "\n\n", 2))
+        assert len(list(PatchDB.iter_jsonl(path))) == len(records)

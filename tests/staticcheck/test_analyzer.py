@@ -1,0 +1,124 @@
+"""Tests for lint_sources / lint_world / lint_patch and the process pool."""
+
+from repro.obs import ObsRegistry
+from repro.patch.gitformat import parse_patch
+from repro.staticcheck import (
+    analyze_source,
+    lint_patch,
+    lint_sources,
+    lint_world,
+    make_checkers,
+    patch_fragments,
+)
+
+DIRTY = "void f(void) {\n    x = 1;\n    int x;\n}\n"
+CLEAN = "int g(int a) {\n    if (a > 0) {\n        return a;\n    }\n    return 0;\n}\n"
+
+
+class TestLintSources:
+    def test_files_sorted_by_path(self):
+        report = lint_sources([("z.c", CLEAN), ("a.c", CLEAN)])
+        assert [fr.path for fr in report.files] == ["a.c", "z.c"]
+
+    def test_counts_aggregate(self):
+        report = lint_sources([("a.c", DIRTY), ("b.c", DIRTY)])
+        assert report.counts_by_checker() == {"decl-use": 2}
+
+    def test_obs_counters(self):
+        obs = ObsRegistry()
+        lint_sources([("a.c", DIRTY)], obs=obs)
+        assert obs.count("files_linted") == 1
+        assert obs.count("lint_findings") == 1
+        assert obs.count("lint_decl_use") == 1
+        assert obs.seconds("lint") > 0
+
+    def test_empty_input(self):
+        report = lint_sources([])
+        assert report.files == []
+        assert report.summary()["findings"] == 0
+
+    def test_workers_identical_to_serial(self):
+        items = [(f"f{i:02d}.c", DIRTY if i % 3 else CLEAN) for i in range(12)]
+        serial = lint_sources(items)
+        obs = ObsRegistry()
+        parallel = lint_sources(items, workers=2, obs=obs)
+        assert parallel.files == serial.files
+        assert parallel.to_json() == serial.to_json()
+        assert obs.seconds("lint_parallel") > 0
+
+    def test_small_batch_stays_serial(self):
+        obs = ObsRegistry()
+        lint_sources([("a.c", CLEAN)], workers=4, obs=obs)
+        assert obs.seconds("lint_parallel") == 0.0
+
+
+class TestLintWorld:
+    def test_clean_world_has_no_gate_findings(self, tiny_world):
+        report = lint_world(tiny_world)
+        assert report.gate_findings == []
+        assert len(report.files) > 0
+
+    def test_paths_are_slug_namespaced(self, tiny_world):
+        report = lint_world(tiny_world)
+        slugs = set(tiny_world.repos)
+        assert all(any(fr.path.startswith(s + "/") for s in slugs) for fr in report.files)
+
+    def test_world_opaque_ratio_is_low(self, tiny_world):
+        # The corpus generator emits code our parser models; most lines parse.
+        assert lint_world(tiny_world).opaque_ratio < 0.3
+
+
+PATCH_TEXT = """commit 1234567890abcdef1234567890abcdef12345678
+Author: Dev <d@example.org>
+Date:   Tue Nov 5 10:00:00 2019 -0500
+
+    add a copy helper
+
+diff --git a/src/a.c b/src/a.c
+index 014b04f..a3692bd 100644
+--- a/src/a.c
++++ b/src/a.c
+@@ -1,3 +1,5 @@
+ int g(void) {
++    strcpy(dst, src);
++    keep = 1;
+     return 0;
+ }
+"""
+
+
+class TestLintPatch:
+    def test_fragments_are_added_lines_only(self):
+        patch = parse_patch(PATCH_TEXT)
+        frags = patch_fragments(patch)
+        assert len(frags) == 1
+        path, text = frags[0]
+        assert path == "src/a.c"
+        assert "strcpy" in text and "return 0" not in text
+
+    def test_dangerous_api_found_in_fragment(self):
+        report = lint_patch(parse_patch(PATCH_TEXT))
+        assert report.counts_by_checker().get("dangerous-api") == 1
+
+    def test_fragment_parse_failure_not_gate(self):
+        # A fragment is rarely a complete compilation unit; that must not
+        # trip the gate-class parse check.
+        report = lint_sources([("frag.c", "} else {\n")], fragments=True)
+        assert report.gate_findings == []
+
+    def test_non_code_files_skipped(self):
+        patch = parse_patch(PATCH_TEXT.replace("src/a.c", "README.md"))
+        assert patch_fragments(patch) == []
+
+
+class TestAnalyzeSource:
+    def test_parse_failure_is_gate_for_full_files(self):
+        report = analyze_source("bad.c", "int f( {", make_checkers(["parse-coverage"]))
+        if report.parse_failed:
+            assert report.findings[0].severity.value == "gate"
+
+    def test_findings_sorted_by_line(self):
+        src = "void f(void) {\n    a = 1;\n    int a;\n    strcpy(d, s);\n}\n"
+        report = analyze_source("t.c", src)
+        lines = [f.line for f in report.findings]
+        assert lines == sorted(lines)

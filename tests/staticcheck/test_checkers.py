@@ -1,0 +1,262 @@
+"""Unit tests for the individual checkers and the report model."""
+
+import pytest
+
+from repro.errors import StaticCheckError
+from repro.staticcheck import (
+    CHECKER_IDS,
+    FileReport,
+    Finding,
+    LintReport,
+    Severity,
+    analyze_source,
+    make_checkers,
+)
+
+CLEAN = """\
+int clamp(int v, int lo, int hi) {
+    if (v < lo) {
+        return lo;
+    }
+    if (v > hi) {
+        return hi;
+    }
+    return v;
+}
+"""
+
+
+def findings_of(source, checker_id, path="t.c"):
+    report = analyze_source(path, source, make_checkers([checker_id]))
+    return [f for f in report.findings if f.checker == checker_id]
+
+
+class TestDangerousApi:
+    def test_strcpy_flagged(self):
+        src = "void f(char *d, char *s) {\n    strcpy(d, s);\n}\n"
+        hits = findings_of(src, "dangerous-api")
+        assert len(hits) == 1
+        assert hits[0].line == 2
+        assert "strcpy" in hits[0].message
+
+    def test_memcpy_raw_length_flagged(self):
+        src = "void f(char *d, char *s, int n) {\n    memcpy(d, s, n);\n}\n"
+        assert len(findings_of(src, "dangerous-api")) == 1
+
+    def test_memcpy_sizeof_length_clean(self):
+        src = "void f(char *d, char *s) {\n    memcpy(d, s, sizeof(int));\n}\n"
+        assert findings_of(src, "dangerous-api") == []
+
+    def test_memcpy_constant_length_clean(self):
+        src = "void f(char *d, char *s) {\n    memcpy(d, s, 16);\n}\n"
+        assert findings_of(src, "dangerous-api") == []
+
+    def test_identifier_not_call_clean(self):
+        src = "void f(void) {\n    int strcpy = 3;\n    strcpy = 4;\n}\n"
+        assert findings_of(src, "dangerous-api") == []
+
+
+class TestMissingCheck:
+    def test_unchecked_index_flagged(self):
+        src = "void f(int *a, int i) {\n    a[i] = 0;\n}\n"
+        hits = findings_of(src, "missing-check")
+        assert any("'i'" in f.message for f in hits)
+
+    def test_checked_index_clean(self):
+        src = "void f(int *a, int i) {\n    if (i < 8) {\n        a[i] = 0;\n    }\n}\n"
+        assert findings_of(src, "missing-check") == []
+
+    def test_unchecked_pointer_param_deref_flagged(self):
+        src = "int f(struct s *p) {\n    return p->len;\n}\n"
+        hits = findings_of(src, "missing-check")
+        assert any("'p'" in f.message for f in hits)
+
+    def test_null_checked_pointer_clean(self):
+        src = "int f(struct s *p) {\n    if (!p) {\n        return 0;\n    }\n    return p->len;\n}\n"
+        assert findings_of(src, "missing-check") == []
+
+    def test_check_must_precede_use(self):
+        src = "int f(int *a, int i) {\n    a[i] = 1;\n    if (i < 4) {\n        return 1;\n    }\n    return 0;\n}\n"
+        assert len(findings_of(src, "missing-check")) == 1
+
+
+class TestSideEffectCond:
+    def test_increment_in_condition_is_gate(self):
+        src = "void f(int x) {\n    if (x++) {\n        x = 0;\n    }\n}\n"
+        hits = findings_of(src, "side-effect-cond")
+        assert len(hits) == 1
+        assert hits[0].severity is Severity.GATE
+
+    def test_assignment_in_while_flagged(self):
+        src = "void f(int x, int y) {\n    while (x = y) {\n        y--;\n    }\n}\n"
+        assert len(findings_of(src, "side-effect-cond")) == 1
+
+    def test_call_in_condition_flagged(self):
+        src = "void f(void) {\n    if (poll_ready()) {\n        return;\n    }\n}\n"
+        assert len(findings_of(src, "side-effect-cond")) == 1
+
+    def test_pure_condition_clean(self):
+        assert findings_of(CLEAN, "side-effect-cond") == []
+
+    def test_sizeof_not_a_call(self):
+        src = "void f(int x) {\n    if (sizeof(x) > 4) {\n        return;\n    }\n}\n"
+        assert findings_of(src, "side-effect-cond") == []
+
+    def test_for_middle_clause_covered(self):
+        src = "void f(int n) {\n    int i;\n    for (i = 0; next(i); i++) {\n        n--;\n    }\n}\n"
+        assert len(findings_of(src, "side-effect-cond")) == 1
+
+
+class TestUnreachable:
+    def test_statement_after_return_flagged(self):
+        src = "int f(int x) {\n    return x;\n    x = 1;\n}\n"
+        hits = findings_of(src, "unreachable")
+        assert len(hits) == 1
+        assert hits[0].line == 3
+
+    def test_case_label_after_break_clean(self):
+        src = (
+            "void f(int x) {\n    switch (x) {\n    case 0:\n        x = 1;\n        break;\n"
+            "    case 1:\n        x = 2;\n        break;\n    }\n}\n"
+        )
+        assert findings_of(src, "unreachable") == []
+
+    def test_label_after_goto_clean(self):
+        src = "void f(int x) {\n    goto out;\nout:\n    x = 1;\n}\n"
+        assert findings_of(src, "unreachable") == []
+
+    def test_return_last_statement_clean(self):
+        assert findings_of(CLEAN, "unreachable") == []
+
+
+class TestAllocFree:
+    def test_leak_flagged(self):
+        src = "void f(void) {\n    char *p = malloc(8);\n    p[0] = 1;\n}\n"
+        hits = findings_of(src, "alloc-free")
+        assert any("never freed" in f.message for f in hits)
+
+    def test_freed_clean(self):
+        src = "void f(void) {\n    char *p = malloc(8);\n    free(p);\n}\n"
+        assert findings_of(src, "alloc-free") == []
+
+    def test_returned_clean(self):
+        src = "char *f(void) {\n    char *p = malloc(8);\n    return p;\n}\n"
+        assert findings_of(src, "alloc-free") == []
+
+    def test_passed_on_clean(self):
+        src = "void f(void) {\n    char *p = malloc(8);\n    consume(p);\n}\n"
+        assert findings_of(src, "alloc-free") == []
+
+    def test_double_free_flagged(self):
+        src = "void f(char *q) {\n    free(q);\n    free(q);\n}\n"
+        hits = findings_of(src, "alloc-free")
+        assert any("double free" in f.message for f in hits)
+
+    def test_cast_assignment_tracked(self):
+        src = "void f(void) {\n    char *p = (char *) malloc(8);\n    p[0] = 1;\n}\n"
+        assert len(findings_of(src, "alloc-free")) == 1
+
+
+class TestScaffoldLeak:
+    def test_scaffold_identifier_is_gate(self):
+        src = "void f(void) {\n    int _SYS_VAL_0042 = 0;\n}\n"
+        hits = findings_of(src, "scaffold-leak")
+        assert len(hits) == 1
+        assert hits[0].severity is Severity.GATE
+
+    def test_each_identifier_reported_once(self):
+        src = "void f(void) {\n    int _SYS_A = 0;\n    _SYS_A = 1;\n    _SYS_A = 2;\n}\n"
+        assert len(findings_of(src, "scaffold-leak")) == 1
+
+    def test_clean_file(self):
+        assert findings_of(CLEAN, "scaffold-leak") == []
+
+
+class TestDeclBeforeUse:
+    def test_use_before_decl_flagged(self):
+        src = "void f(void) {\n    x = 3;\n    int x;\n}\n"
+        hits = findings_of(src, "decl-use")
+        assert len(hits) == 1
+        assert hits[0].line == 2
+
+    def test_decl_then_use_clean(self):
+        src = "void f(void) {\n    int x;\n    x = 3;\n}\n"
+        assert findings_of(src, "decl-use") == []
+
+    def test_params_never_flagged(self):
+        src = "void f(int x) {\n    x = 3;\n    int y = x;\n}\n"
+        assert findings_of(src, "decl-use") == []
+
+    def test_undeclared_identifier_not_flagged(self):
+        src = "void f(void) {\n    extern_counter = 3;\n}\n"
+        assert findings_of(src, "decl-use") == []
+
+
+class TestParseCoverage:
+    def test_mostly_opaque_file_flagged(self):
+        src = "".join(
+            f"__attribute__((x)) struct s{i} {{ int a; }};\n" for i in range(6)
+        )
+        hits = findings_of(src, "parse-coverage")
+        assert len(hits) == 1
+        assert "opaque" in hits[0].message
+
+    def test_fragment_not_flagged_for_coverage(self):
+        src = "".join(
+            f"__attribute__((x)) struct s{i} {{ int a; }};\n" for i in range(6)
+        )
+        report = analyze_source("t.c", src, make_checkers(["parse-coverage"]), is_fragment=True)
+        assert report.findings == ()
+
+    def test_clean_file(self):
+        assert findings_of(CLEAN, "parse-coverage") == []
+
+    def test_header_not_held_to_threshold(self):
+        src = "".join(f"__attribute__((x)) struct s{i} {{ int a; }};\n" for i in range(6))
+        assert findings_of(src, "parse-coverage", path="t.h") == []
+
+
+class TestRegistry:
+    def test_eight_checkers(self):
+        assert len(CHECKER_IDS) == 8
+        assert len(make_checkers()) == 8
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(StaticCheckError, match="unknown checker"):
+            make_checkers(["no-such-checker"])
+
+    def test_subset_instantiation(self):
+        checkers = make_checkers(["decl-use", "unreachable"])
+        assert [c.id for c in checkers] == ["decl-use", "unreachable"]
+
+
+class TestModel:
+    def test_finding_render(self):
+        f = Finding("decl-use", Severity.WARNING, "a.c", 7, "msg", function="g")
+        assert f.render() == "a.c:7 [warning/decl-use] msg in g()"
+
+    def test_report_json_round_trip(self):
+        report = analyze_source("t.c", "void f(void) {\n    x = 1;\n    int x;\n}\n")
+        lr = LintReport(files=[report])
+        back = LintReport.from_json(lr.to_json())
+        assert back.files == lr.files
+        assert back.summary() == lr.summary()
+
+    def test_from_json_rejects_non_report(self):
+        with pytest.raises(StaticCheckError):
+            LintReport.from_json("{\"format\": \"something-else\", \"files\": []}")
+        with pytest.raises(StaticCheckError):
+            LintReport.from_json("not json at all")
+
+    def test_severity_filtering(self):
+        gate = Finding("scaffold-leak", Severity.GATE, "a.c", 1, "m")
+        warn = Finding("decl-use", Severity.WARNING, "a.c", 2, "m")
+        lr = LintReport(files=[FileReport(path="a.c", findings=(gate, warn))])
+        assert lr.gate_findings == [gate]
+        assert lr.findings(Severity.WARNING) == [warn]
+        assert len(lr.findings()) == 2
+
+    def test_opaque_ratio_bounds(self):
+        fr = FileReport(path="a.c", code_lines=10, opaque_lines=4)
+        assert fr.opaque_ratio == pytest.approx(0.4)
+        assert FileReport(path="b.c").opaque_ratio == 0.0

@@ -1,0 +1,102 @@
+"""Tests for CFG-signature descaffolding of the Fig. 5 variants."""
+
+import pytest
+
+from repro.lang import IfStmt, parse_translation_unit, walk
+from repro.staticcheck import cfg_equivalent, cfg_signature, descaffolded_signature
+from repro.synthesis.variants import VARIANTS, apply_variant_text
+
+SOURCE = """\
+int check(int a, int b) {
+    if (a > b) {
+        return a;
+    }
+    while (b > 0) {
+        b--;
+    }
+    return b;
+}
+"""
+
+NEGATED = """\
+int guard(char *p) {
+    if (!p) {
+        return -1;
+    }
+    return 0;
+}
+"""
+
+COMPOUND = """\
+int both(int a, int b) {
+    if (a > 0 && b > 0) {
+        return a + b;
+    }
+    return 0;
+}
+"""
+
+
+def transform(source, variant, suffix="77"):
+    unit = parse_translation_unit(source, "t.c")
+    stmt = next(n for n in walk(unit) if isinstance(n, IfStmt))
+    return apply_variant_text(
+        source,
+        variant,
+        (stmt.cond_open_line, stmt.cond_open_col),
+        (stmt.cond_close_line, stmt.cond_close_col),
+        stmt.start_line,
+        suffix,
+    )
+
+
+class TestAllVariantsEquivalent:
+    @pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: f"v{v.variant_id}")
+    def test_simple_condition(self, variant):
+        assert cfg_equivalent(SOURCE, transform(SOURCE, variant))
+
+    @pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: f"v{v.variant_id}")
+    def test_negated_condition(self, variant):
+        # '!p' makes variant 3's hoist declaration look like variant 4's.
+        assert cfg_equivalent(NEGATED, transform(NEGATED, variant))
+
+    @pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: f"v{v.variant_id}")
+    def test_compound_condition(self, variant):
+        assert cfg_equivalent(COMPOUND, transform(COMPOUND, variant))
+
+
+class TestNonEquivalence:
+    def test_changed_condition_fails(self):
+        assert not cfg_equivalent(SOURCE, SOURCE.replace("a > b", "a >= b"))
+
+    def test_leftover_scaffold_fails(self):
+        broken = SOURCE.replace("a > b", "_SYS_VAL_9 && a > b")
+        assert not cfg_equivalent(SOURCE, broken)
+
+    def test_dropped_statement_fails(self):
+        assert not cfg_equivalent(SOURCE, SOURCE.replace("        b--;\n", ""))
+
+    def test_toggle_guard_mismatch_fails(self):
+        # Variant 7 whose flag was set under a DIFFERENT condition than the
+        # one re-tested must not descaffold.
+        out = transform(SOURCE, VARIANTS[6])
+        broken = out.replace("if (a > b) { _SYS_VAL", "if (a < b) { _SYS_VAL")
+        assert not cfg_equivalent(SOURCE, broken)
+
+    def test_unparseable_text_is_not_equivalent(self):
+        assert not cfg_equivalent(SOURCE, "")
+
+
+class TestSignatures:
+    def test_signature_is_whitespace_insensitive(self):
+        spaced = SOURCE.replace("a > b", "a  >  b")
+        assert cfg_signature(SOURCE) == cfg_signature(spaced)
+
+    def test_identity_descaffold(self):
+        # A scaffold-free file descaffolds to its own signature.
+        assert descaffolded_signature(SOURCE) == cfg_signature(SOURCE)
+
+    def test_signature_captures_nesting(self):
+        flat = "void f(int a) {\n    if (a) {\n        a = 1;\n    }\n    a = 2;\n}\n"
+        nested = "void f(int a) {\n    if (a) {\n        a = 1;\n        a = 2;\n    }\n}\n"
+        assert cfg_signature(flat) != cfg_signature(nested)

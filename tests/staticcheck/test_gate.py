@@ -1,0 +1,36 @@
+"""Tests for the corpus/synthesis validation gate."""
+
+from repro.obs import ObsRegistry
+from repro.staticcheck import run_gate
+
+
+class TestGate:
+    def test_clean_world_passes(self, tiny_world):
+        obs = ObsRegistry()
+        result = run_gate(tiny_world, variant_sample=6, obs=obs)
+        assert result.passed
+        assert result.report.gate_findings == []
+        assert result.variant_checks > 0
+        assert result.variant_failures == []
+        assert obs.count("variant_equiv_checks") == result.variant_checks
+        assert obs.seconds("gate") > 0
+
+    def test_variant_sample_zero_skips_equivalence(self, tiny_world):
+        result = run_gate(tiny_world, variant_sample=0)
+        assert result.variant_checks == 0
+        assert result.passed
+
+    def test_sampling_is_deterministic(self, tiny_world):
+        a = run_gate(tiny_world, variant_sample=4, seed=7)
+        b = run_gate(tiny_world, variant_sample=4, seed=7)
+        assert a.variant_checks == b.variant_checks
+        assert a.summary() == b.summary()
+
+    def test_summary_and_render(self, tiny_world):
+        result = run_gate(tiny_world, variant_sample=2)
+        s = result.summary()
+        assert s["passed"] is True
+        assert s["variant_failures"] == 0
+        text = result.render_text(max_findings=5)
+        assert "gate: PASS" in text
+        assert "variant equivalence" in text

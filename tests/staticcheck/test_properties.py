@@ -1,0 +1,86 @@
+"""Property-based tests: the linter must survive pathological input.
+
+Non-strict robustness is the framework's core contract: whatever text the
+corpus, a patch, or a user throws at it, ``analyze_source`` returns a
+report — findings, never exceptions — and its coverage metrics stay
+internally consistent.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import is_side_effect_free
+from repro.staticcheck import analyze_source, lint_sources
+
+code_text = st.text(
+    alphabet="abcxyz_01 \n\t(){}[];,=+-*/<>!&|\"'#", min_size=0, max_size=400
+)
+
+
+class TestRobustness:
+    @given(source=code_text)
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_never_raises(self, source):
+        report = analyze_source("fuzz.c", source)
+        assert report.code_lines >= 0
+
+    @given(source=code_text)
+    @settings(max_examples=100, deadline=None)
+    def test_fragment_mode_never_raises(self, source):
+        report = analyze_source("fuzz.c", source, is_fragment=True)
+        # Fragments never produce gate-class parse findings.
+        assert all(f.severity.value != "gate" or f.checker != "parse-coverage"
+                   for f in report.findings)
+
+    @given(source=code_text)
+    @settings(max_examples=100, deadline=None)
+    def test_opaque_lines_bounded_by_code_lines(self, source):
+        report = analyze_source("fuzz.c", source)
+        assert 0 <= report.opaque_lines <= report.code_lines
+        assert 0.0 <= report.opaque_ratio <= 1.0
+
+    @given(depth=st.integers(min_value=1, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_deep_nesting_never_raises(self, depth):
+        body = "if (a) {\n" * depth + "a = 1;\n" + "}\n" * depth
+        source = "void f(int a) {\n" + body + "}\n"
+        report = analyze_source("deep.c", source)
+        assert report.parse_failed is False or report.findings
+
+    @given(n=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_truncated_function_never_raises(self, n):
+        full = "int f(int a) {\n    if (a > 0) {\n        return a;\n    }\n    return 0;\n}\n"
+        analyze_source("trunc.c", full[:n])
+
+    @given(source=code_text)
+    @settings(max_examples=50, deadline=None)
+    def test_opaque_attribute_region_appended(self, source):
+        # Appending an opaque top-level region never *decreases* opaque
+        # coverage accounting.
+        base = analyze_source("f.c", source)
+        extended = analyze_source(
+            "f.c", source + "\n__attribute__((packed)) struct zz { int q; };\n"
+        )
+        assert extended.opaque_lines >= base.opaque_lines
+
+    @given(sources=st.lists(code_text, min_size=0, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_lint_sources_never_raises(self, sources):
+        items = [(f"f{i}.c", s) for i, s in enumerate(sources)]
+        report = lint_sources(items)
+        assert len(report.files) == len(items)
+
+
+class TestSideEffectProperties:
+    @given(text=st.text(alphabet="abc 0123<>=!&|()+-", min_size=0, max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_side_effect_scan_never_raises(self, text):
+        is_side_effect_free(text)
+
+    @given(ident=st.text(alphabet="abcxyz", min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_increment_always_detected(self, ident):
+        assert not is_side_effect_free(f"{ident}++")
+        assert not is_side_effect_free(f"--{ident}")
+        assert is_side_effect_free(f"{ident} > 0")

@@ -1,0 +1,63 @@
+"""Known-answer recall tests: every checker catches its seeded violation."""
+
+import pytest
+
+from repro.errors import StaticCheckError
+from repro.staticcheck import (
+    CHECKER_IDS,
+    SEEDABLE_CHECKERS,
+    Severity,
+    analyze_source,
+    inject_violation,
+    seed_all,
+)
+
+HOST = """\
+int host(int v, int lo) {
+    if (v < lo) {
+        return lo;
+    }
+    return v;
+}
+"""
+
+
+class TestSeededRecall:
+    @pytest.mark.parametrize("checker_id", CHECKER_IDS)
+    def test_every_checker_catches_its_seed(self, checker_id):
+        # 100% recall: one seeded violation per checker class, each caught.
+        text = seed_all(HOST)[checker_id]
+        report = analyze_source("seed.c", text)
+        assert checker_id in {f.checker for f in report.findings}
+
+    @pytest.mark.parametrize("checker_id", SEEDABLE_CHECKERS)
+    def test_seeds_do_not_cross_fire(self, checker_id):
+        # Each payload trips exactly its own checker — the host is clean.
+        text = inject_violation(HOST, checker_id)
+        report = analyze_source("seed.c", text)
+        assert {f.checker for f in report.findings} == {checker_id}
+
+    def test_host_is_clean(self):
+        assert analyze_source("host.c", HOST).findings == ()
+
+
+class TestSeedingApi:
+    def test_unknown_checker_rejected(self):
+        with pytest.raises(StaticCheckError, match="payload"):
+            inject_violation(HOST, "parse-coverage")
+
+    def test_source_without_function_rejected(self):
+        with pytest.raises(StaticCheckError, match="no function"):
+            inject_violation("int x = 3;\n", "dangerous-api")
+
+    def test_seed_all_covers_all_checkers(self):
+        assert set(seed_all(HOST)) == set(CHECKER_IDS)
+
+    def test_gate_seeds_are_gate_class(self):
+        for checker_id in ("side-effect-cond", "scaffold-leak"):
+            text = inject_violation(HOST, checker_id)
+            report = analyze_source("seed.c", text)
+            assert any(
+                f.checker == checker_id and f.severity is Severity.GATE
+                for f in report.findings
+            )

@@ -151,3 +151,38 @@ class TestParenthesization:
     def test_already_parenthesized_not_rewrapped(self):
         _, new_cond = VARIANTS[1].rewrite("(a || b)", "s", "")
         assert "((a || b))" not in new_cond
+
+
+class TestSideEffectGate:
+    """apply_variant_text refuses conditions whose evaluation has effects."""
+
+    def _rewrite(self, source):
+        opn, cls, ln = _if_coords(source)
+        return apply_variant_text(source, VARIANTS[0], opn, cls, ln, "sfx")
+
+    def test_increment_condition_rejected(self):
+        src = "int f(int x) {\n    if (x++) {\n        return 1;\n    }\n    return 0;\n}\n"
+        with pytest.raises(SynthesisError, match="side effects"):
+            self._rewrite(src)
+
+    def test_assignment_condition_rejected(self):
+        src = "int f(int x, int y) {\n    if (x = y) {\n        return 1;\n    }\n    return 0;\n}\n"
+        with pytest.raises(SynthesisError, match="side effects"):
+            self._rewrite(src)
+
+    def test_call_condition_rejected(self):
+        src = "int f(char *p) {\n    if (check(p)) {\n        return 1;\n    }\n    return 0;\n}\n"
+        with pytest.raises(SynthesisError, match="side effects"):
+            self._rewrite(src)
+
+    def test_pure_condition_still_rewrites(self):
+        src = "int f(int x, int y) {\n    if (x == y) {\n        return 1;\n    }\n    return 0;\n}\n"
+        out = self._rewrite(src)
+        assert "_SYS_ZERO_sfx" in out
+
+    @pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: f"v{v.variant_id}")
+    def test_every_variant_enforces_the_gate(self, variant):
+        src = "int f(int x) {\n    if (--x) {\n        return 1;\n    }\n    return 0;\n}\n"
+        opn, cls, ln = _if_coords(src)
+        with pytest.raises(SynthesisError, match="side effects"):
+            apply_variant_text(src, variant, opn, cls, ln, "sfx")

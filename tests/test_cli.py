@@ -41,7 +41,8 @@ class TestParser:
             build_parser().parse_args([])
 
     @pytest.mark.parametrize(
-        "cmd", ["build", "evaluate", "stats", "features", "categorize", "synthesize"]
+        "cmd",
+        ["build", "evaluate", "stats", "features", "categorize", "synthesize", "lint"],
     )
     def test_subcommands_exist(self, cmd):
         parser = build_parser()
@@ -171,3 +172,87 @@ class TestEvaluate:
     def test_unknown_table_rejected(self, capsys):
         assert main(["evaluate", "--tables", "5"]) == 2
         assert "unknown table" in capsys.readouterr().err
+
+
+DIRTY_C = "void f(void) {\n    strcpy(dst, src);\n    int _SYS_left = 0;\n}\n"
+
+
+class TestLint:
+    @pytest.fixture()
+    def clean_file(self, tmp_path):
+        path = tmp_path / "clean.c"
+        path.write_text(BEFORE_C)
+        return str(path)
+
+    @pytest.fixture()
+    def dirty_file(self, tmp_path):
+        path = tmp_path / "dirty.c"
+        path.write_text(DIRTY_C)
+        return str(path)
+
+    def test_clean_file_passes(self, clean_file, capsys):
+        assert main(["lint", clean_file]) == 0
+        assert "0 finding" in capsys.readouterr().out
+
+    def test_gate_finding_fails_by_default(self, dirty_file, capsys):
+        # The scaffold leak is gate-class; exit code must be 1.
+        assert main(["lint", dirty_file]) == 1
+        out = capsys.readouterr().out
+        assert "scaffold-leak" in out
+        assert "dangerous-api" in out
+
+    def test_fail_on_never_always_passes(self, dirty_file, capsys):
+        assert main(["lint", dirty_file, "--fail-on", "never"]) == 0
+        capsys.readouterr()
+
+    def test_fail_on_warning_includes_warnings(self, tmp_path, capsys):
+        path = tmp_path / "warn.c"
+        path.write_text("void f(void) {\n    strcpy(dst, src);\n}\n")
+        assert main(["lint", str(path)]) == 0  # warning only
+        assert main(["lint", str(path), "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+
+    def test_json_format_parses(self, dirty_file, capsys):
+        import json
+
+        assert main(["lint", dirty_file, "--fail-on", "never", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-lint-report-v1"
+        checkers = {f["checker"] for fr in payload["files"] for f in fr["findings"]}
+        assert "scaffold-leak" in checkers
+
+    def test_patch_directory_lints_fragments(self, patch_file, tmp_path, capsys):
+        assert main(["lint", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        # Fragment paths are namespaced as <patch-path>:<file-path>.
+        assert "fix.patch" in out or "0 finding" in out
+
+    def test_output_file_written(self, clean_file, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(
+            ["lint", clean_file, "--format", "json", "--output", str(report_path)]
+        )
+        assert code == 0
+        assert report_path.exists()
+        capsys.readouterr()
+
+    def test_gate_mode_builds_world(self, capsys):
+        import json
+
+        code = main(
+            [
+                "lint",
+                "--scale",
+                "tiny",
+                "--seed",
+                "2021",
+                "--variant-sample",
+                "2",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gate"]["passed"] is True
+        assert payload["gate"]["variant_failures"] == 0
