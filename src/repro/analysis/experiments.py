@@ -16,6 +16,7 @@ reproduction target (EXPERIMENTS.md records both).
 from __future__ import annotations
 
 import pickle
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -134,10 +135,14 @@ class ExperimentWorld:
         ml_workers: default for the ``ml_workers`` argument of
             :func:`run_table3`/:func:`run_table4`/:func:`run_table6` —
             enables the cached, parallel evaluation engine.
+        obs: observability registry shared by the world build, both caches,
+            and every runner; a private one is created if omitted.  World
+            construction, NVD synthesis, and the crawl are recorded as
+            spans (``world.build``, ``nvd.build``, ``nvd.crawl``).
     """
 
     #: Bumped when the pickled layout changes; stale disk caches rebuild.
-    _CACHE_REV = 3
+    _CACHE_REV = 4
 
     def __init__(
         self,
@@ -147,15 +152,19 @@ class ExperimentWorld:
         token_cache: str | Path | None = None,
         workers: int | None = None,
         ml_workers: int | None = None,
+        obs: ObsRegistry | None = None,
     ) -> None:
         self.scale = scale
         self.seed = seed
-        self.obs = ObsRegistry()
+        self.obs = obs if obs is not None else ObsRegistry()
         self.ml_workers = ml_workers
         self._cache_rev = self._CACHE_REV
-        self.world: World = build_world(scale.world_config(seed))
-        self.nvd: NvdDatabase = build_nvd(self.world, NvdConfig(seed=seed + 1))
-        self.crawl: CrawlResult = NvdCrawler(self.world).crawl(self.nvd)
+        with self.obs.span("world.build", scale=scale.name, seed=seed, commits=scale.n_commits):
+            self.world: World = build_world(scale.world_config(seed))
+        with self.obs.span("nvd.build", seed=seed + 1):
+            self.nvd: NvdDatabase = build_nvd(self.world, NvdConfig(seed=seed + 1))
+        with self.obs.span("nvd.crawl"):
+            self.crawl: CrawlResult = NvdCrawler(self.world).crawl(self.nvd)
         self.cache = PatchFeatureCache(
             self.world,
             persist_path=feature_cache,
@@ -211,6 +220,38 @@ class ExperimentWorld:
         """A fresh expert panel (stats start at zero)."""
         return VerificationOracle(self.world, seed=self.seed + 300 + seed)
 
+    # ---- run manifests and traces -----------------------------------------
+
+    def manifest(self, **extra: object) -> dict:
+        """The run manifest: everything needed to identify or replay a run.
+
+        Records the scale preset (name and the counts it implies), the world
+        seed and git-style world digest, and the library's cache revision;
+        *extra* keys (command name, wall clock, output paths …) are merged
+        in by callers like the CLI.  This is the first record of every
+        exported trace file.
+        """
+        base = {
+            "format": "repro-run-manifest-v1",
+            "scale": self.scale.name,
+            "n_commits": self.scale.n_commits,
+            "n_repos": self.scale.n_repos,
+            "seed": self.seed,
+            "world_digest": self.world.digest(),
+            "cache_rev": self._CACHE_REV,
+            "created_unix": time.time(),
+        }
+        base.update(extra)
+        return base
+
+    def write_trace(self, path: str | Path, **extra: object) -> Path:
+        """Export this world's obs registry as a JSONL trace file.
+
+        The manifest record carries the world identity plus *extra*;
+        ``python -m repro trace <path>`` renders the result.
+        """
+        return self.obs.export_trace(path, manifest=self.manifest(**extra))
+
     # ---- disk caching -----------------------------------------------------
 
     @classmethod
@@ -244,20 +285,21 @@ class ExperimentWorld:
 
 def run_table2(ew: ExperimentWorld, seed: int = 0) -> AugmentationOutcome:
     """Five rounds of augmentation across Sets I/II/III (Table II)."""
-    set1 = ew.wild_pool(ew.scale.set1_size, seed=seed)
-    used = set(set1)
-    set2 = ew.wild_pool(ew.scale.set23_size, exclude=used, seed=seed + 1)
-    used |= set(set2)
-    set3 = ew.wild_pool(ew.scale.set23_size, exclude=used, seed=seed + 2)
-    augmentation = DatasetAugmentation(ew.cache, ew.oracle(seed))
-    return augmentation.run_schedule(
-        ew.nvd_seed_shas,
-        [
-            SearchSet("Set I", tuple(set1), rounds=3),
-            SearchSet("Set II", tuple(set2), rounds=1),
-            SearchSet("Set III", tuple(set3), rounds=1),
-        ],
-    )
+    with ew.obs.span("experiment.table2", seed=seed):
+        set1 = ew.wild_pool(ew.scale.set1_size, seed=seed)
+        used = set(set1)
+        set2 = ew.wild_pool(ew.scale.set23_size, exclude=used, seed=seed + 1)
+        used |= set(set2)
+        set3 = ew.wild_pool(ew.scale.set23_size, exclude=used, seed=seed + 2)
+        augmentation = DatasetAugmentation(ew.cache, ew.oracle(seed))
+        return augmentation.run_schedule(
+            ew.nvd_seed_shas,
+            [
+                SearchSet("Set I", tuple(set1), rounds=3),
+                SearchSet("Set II", tuple(set2), rounds=1),
+                SearchSet("Set III", tuple(set3), rounds=1),
+            ],
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -278,6 +320,13 @@ def run_table3(
             sets are identical either way.
     """
     ml_workers = ml_workers if ml_workers is not None else ew.ml_workers
+    with ew.obs.span("experiment.table3", seed=seed, ml_workers=ml_workers):
+        return _run_table3(ew, seed, ml_workers)
+
+
+def _run_table3(
+    ew: ExperimentWorld, seed: int, ml_workers: int | None
+) -> list[BaselineResult]:
     pool = ew.wild_pool(ew.scale.set23_size, seed=seed + 10)
     seed_sec = ew.nvd_seed_shas
     seed_non = ew.ground_truth_nonsec(2 * len(seed_sec), seed=seed)
@@ -379,6 +428,19 @@ def run_table4(
     memoized — same rows as the serial path, bit for bit.
     """
     ml_workers = ml_workers if ml_workers is not None else ew.ml_workers
+    with ew.obs.span(
+        "experiment.table4", seed=seed, n_seeds=n_seeds, ml_workers=ml_workers
+    ):
+        return _run_table4(ew, seed, max_per_patch, n_seeds, ml_workers)
+
+
+def _run_table4(
+    ew: ExperimentWorld,
+    seed: int,
+    max_per_patch: int,
+    n_seeds: int,
+    ml_workers: int | None,
+) -> Table4Result:
     engine = ml_workers is not None
     epochs = ew.scale.rnn_epochs
     synth = PatchSynthesizer(ew.world, max_per_patch=max_per_patch, seed=seed, memoize=engine)
@@ -580,6 +642,11 @@ def run_table6(
     served from ``ew.tokens`` — rows are bit-identical to the serial path.
     """
     ml_workers = ml_workers if ml_workers is not None else ew.ml_workers
+    with ew.obs.span("experiment.table6", seed=seed, ml_workers=ml_workers):
+        return _run_table6(ew, seed, ml_workers)
+
+
+def _run_table6(ew: ExperimentWorld, seed: int, ml_workers: int | None) -> Table6Result:
     engine = ml_workers is not None
     epochs = ew.scale.rnn_epochs
     nvd_sec = ew.nvd_seed_shas
@@ -708,44 +775,53 @@ def run_checkdelta_ablation(ew: ExperimentWorld, seed: int = 0) -> CheckDeltaRes
 
 def build_patchdb(ew: ExperimentWorld, seed: int = 0, synthesize: bool = True) -> PatchDB:
     """Run the whole construction methodology (Fig. 1) and return PatchDB."""
-    db = PatchDB()
-    nvd_set = set(ew.nvd_seed_shas)
-    cve_by_sha = {p.sha: cve for cve, p in ew.crawl.patches.items()}
-    for sha in sorted(nvd_set):
-        patch = ew.world.patch_for(sha)
-        db.add(
-            PatchRecord(
-                patch=patch,
-                source="nvd",
-                is_security=True,
-                pattern_type=categorize_patch(patch),
-                cve_id=cve_by_sha.get(sha),
-            )
-        )
-    outcome = run_table2(ew, seed=seed)
-    for sha in outcome.security_shas:
-        if sha in nvd_set:
-            continue
-        patch = ew.world.patch_for(sha)
-        db.add(
-            PatchRecord(
-                patch=patch, source="wild", is_security=True, pattern_type=categorize_patch(patch)
-            )
-        )
-    for sha in outcome.non_security_shas:
-        db.add(PatchRecord(patch=ew.world.patch_for(sha), source="wild", is_security=False))
-    if synthesize:
-        synthesizer = PatchSynthesizer(ew.world, max_per_patch=2, seed=seed)
-        for record in list(db):
-            if record.source == "synthetic":
-                continue
-            for sp in synthesizer.synthesize(record.patch.sha):
+    with ew.obs.span("patchdb.build", seed=seed, synthesize=synthesize):
+        db = PatchDB()
+        nvd_set = set(ew.nvd_seed_shas)
+        cve_by_sha = {p.sha: cve for cve, p in ew.crawl.patches.items()}
+        with ew.obs.span("patchdb.nvd_seed", patches=len(nvd_set)):
+            for sha in sorted(nvd_set):
+                patch = ew.world.patch_for(sha)
                 db.add(
                     PatchRecord(
-                        patch=sp.patch,
-                        source="synthetic",
-                        is_security=record.is_security,
-                        pattern_type=record.pattern_type,
+                        patch=patch,
+                        source="nvd",
+                        is_security=True,
+                        pattern_type=categorize_patch(patch),
+                        cve_id=cve_by_sha.get(sha),
                     )
                 )
-    return db
+        outcome = run_table2(ew, seed=seed)
+        with ew.obs.span("patchdb.wild", found=len(outcome.security_shas)):
+            for sha in outcome.security_shas:
+                if sha in nvd_set:
+                    continue
+                patch = ew.world.patch_for(sha)
+                db.add(
+                    PatchRecord(
+                        patch=patch,
+                        source="wild",
+                        is_security=True,
+                        pattern_type=categorize_patch(patch),
+                    )
+                )
+            for sha in outcome.non_security_shas:
+                db.add(
+                    PatchRecord(patch=ew.world.patch_for(sha), source="wild", is_security=False)
+                )
+        if synthesize:
+            with ew.obs.span("patchdb.synthesize"):
+                synthesizer = PatchSynthesizer(ew.world, max_per_patch=2, seed=seed)
+                for record in list(db):
+                    if record.source == "synthetic":
+                        continue
+                    for sp in synthesizer.synthesize(record.patch.sha):
+                        db.add(
+                            PatchRecord(
+                                patch=sp.patch,
+                                source="synthetic",
+                                is_security=record.is_security,
+                                pattern_type=record.pattern_type,
+                            )
+                        )
+        return db

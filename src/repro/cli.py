@@ -3,6 +3,7 @@
 Commands:
 
 * ``build``     — run the full construction pipeline, write a PatchDB JSONL.
+* ``augment``   — run the Table II augmentation rounds (the nearest-link loop).
 * ``evaluate``  — run the Table III/IV/VI evaluation suite at a scale.
 * ``stats``     — summarize an existing PatchDB JSONL (counts, composition).
 * ``features``  — print the Table I feature vector of a ``.patch`` file.
@@ -10,6 +11,12 @@ Commands:
 * ``synthesize``— apply the Fig. 5 variants to a before/after file pair.
 * ``lint``      — run the static-analysis suite over a built world (the
   validation gate), a PatchDB JSONL, or a directory of ``.patch`` files.
+* ``trace``     — render an exported run trace (span tree + top phases).
+
+Every world-building command takes ``--stats`` (human-readable phase table
+on stderr), ``--stats-json PATH`` (machine-readable merged timers, call
+counts, counters, and latency histograms), and ``--trace PATH`` (JSONL span
+trace with a run manifest, for ``repro trace``).
 
 The CLI wraps the library one-to-one; every command is also available
 programmatically (see README).
@@ -18,7 +25,10 @@ programmatically (see README).
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 from pathlib import Path
 
 from .analysis.experiments import (
@@ -27,6 +37,7 @@ from .analysis.experiments import (
     TINY,
     ExperimentWorld,
     build_patchdb,
+    run_table2,
     run_table3,
     run_table4,
     run_table6,
@@ -34,29 +45,92 @@ from .analysis.experiments import (
 from .core.categorize import categorize_patch
 from .core.patchdb import PatchDB
 from .corpus.vulnpatterns import PATTERN_NAMES
+from .errors import ReproError
 from .features.extractor import extract_features
 from .features.vector import FEATURE_NAMES
+from .obs import ObsRegistry
 from .patch.gitformat import parse_patch
 
 _SCALES = {"tiny": TINY, "small": SMALL, "medium": MEDIUM}
 
 
+def _emit_observability(
+    args: argparse.Namespace,
+    obs: ObsRegistry,
+    manifest: dict,
+) -> None:
+    """Honor the shared ``--stats`` / ``--stats-json`` / ``--trace`` flags."""
+    if getattr(args, "stats", False):
+        print(f"\n{obs.report()}", file=sys.stderr)
+    if getattr(args, "stats_json", None):
+        payload = obs.to_dict()
+        payload["manifest"] = manifest
+        Path(args.stats_json).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote stats to {args.stats_json}", file=sys.stderr)
+    if getattr(args, "trace", None):
+        obs.export_trace(args.trace, manifest=manifest)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     print(f"building {scale.name} world (seed {args.seed})...", file=sys.stderr)
-    ew = ExperimentWorld(
-        scale, seed=args.seed, feature_cache=args.feature_cache, workers=args.workers
-    )
-    db = build_patchdb(ew, synthesize=not args.no_synthetic)
-    db.save_jsonl(args.output)
+    start = time.perf_counter()
+    obs = ObsRegistry()
+    with obs.span("cli.build", scale=scale.name, seed=args.seed):
+        ew = ExperimentWorld(
+            scale, seed=args.seed, feature_cache=args.feature_cache, workers=args.workers, obs=obs
+        )
+        db = build_patchdb(ew, synthesize=not args.no_synthetic)
+        db.save_jsonl(args.output)
     for key, value in db.summary().items():
         print(f"{key:>24s}: {value}")
     if args.feature_cache:
         path = ew.cache.save()
         print(f"persisted {len(ew.cache)} feature vectors to {path}", file=sys.stderr)
-    if args.stats:
-        print(f"\n{ew.obs.report()}", file=sys.stderr)
+    _emit_observability(
+        args,
+        ew.obs,
+        ew.manifest(
+            command="build",
+            output=str(args.output),
+            records=len(db),
+            wall_clock_s=round(time.perf_counter() - start, 3),
+        ),
+    )
     print(f"wrote {len(db)} records to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_augment(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale]
+    print(f"building {scale.name} world (seed {args.seed})...", file=sys.stderr)
+    start = time.perf_counter()
+    obs = ObsRegistry()
+    with obs.span("cli.augment", scale=scale.name, seed=args.seed):
+        ew = ExperimentWorld(
+            scale, seed=args.seed, feature_cache=args.feature_cache, workers=args.workers, obs=obs
+        )
+        outcome = run_table2(ew)
+    print("Table II — wild-based dataset construction")
+    print(outcome.table())
+    print(
+        f"wild security patches found: {outcome.wild_security_count} "
+        f"(seed {len(ew.nvd_seed_shas)} NVD patches)"
+    )
+    if args.feature_cache:
+        path = ew.cache.save()
+        print(f"persisted {len(ew.cache)} feature vectors to {path}", file=sys.stderr)
+    _emit_observability(
+        args,
+        ew.obs,
+        ew.manifest(
+            command="augment",
+            rounds=len(outcome.rounds),
+            wild_security=outcome.wild_security_count,
+            wall_clock_s=round(time.perf_counter() - start, 3),
+        ),
+    )
     return 0
 
 
@@ -68,32 +142,43 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         return 2
     scale = _SCALES[args.scale]
     print(f"building {scale.name} world (seed {args.seed})...", file=sys.stderr)
-    ew = ExperimentWorld(
-        scale,
-        seed=args.seed,
-        feature_cache=args.feature_cache,
-        token_cache=args.token_cache,
-        workers=args.workers,
-        ml_workers=args.ml_workers,
-    )
-    if "3" in tables:
-        print("Table III — augmentation methods")
-        for row in run_table3(ew):
-            print(row.row())
-    if "4" in tables:
-        print("\nTable IV — synthetic patches")
-        print(run_table4(ew).table())
-    if "6" in tables:
-        print("\nTable VI — cross-source generalization")
-        print(run_table6(ew).table())
+    start = time.perf_counter()
+    obs = ObsRegistry()
+    with obs.span("cli.evaluate", scale=scale.name, seed=args.seed, tables=args.tables):
+        ew = ExperimentWorld(
+            scale,
+            seed=args.seed,
+            feature_cache=args.feature_cache,
+            token_cache=args.token_cache,
+            workers=args.workers,
+            ml_workers=args.ml_workers,
+            obs=obs,
+        )
+        if "3" in tables:
+            print("Table III — augmentation methods")
+            for row in run_table3(ew):
+                print(row.row())
+        if "4" in tables:
+            print("\nTable IV — synthetic patches")
+            print(run_table4(ew).table())
+        if "6" in tables:
+            print("\nTable VI — cross-source generalization")
+            print(run_table6(ew).table())
     if args.feature_cache:
         path = ew.cache.save()
         print(f"persisted {len(ew.cache)} feature vectors to {path}", file=sys.stderr)
     if args.token_cache:
         path = ew.tokens.save()
         print(f"persisted {len(ew.tokens)} token sequences to {path}", file=sys.stderr)
-    if args.stats:
-        print(f"\n{ew.obs.report()}", file=sys.stderr)
+    _emit_observability(
+        args,
+        ew.obs,
+        ew.manifest(
+            command="evaluate",
+            tables=",".join(tables),
+            wall_clock_s=round(time.perf_counter() - start, 3),
+        ),
+    )
     return 0
 
 
@@ -174,57 +259,69 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         run_gate,
     )
 
+    start = time.perf_counter()
     obs = ObsRegistry()
     gate_result = None
-    if args.target is None:
-        # No target: build a world at --scale and run the full gate.
-        scale = _SCALES[args.scale]
-        print(f"building {scale.name} world (seed {args.seed})...", file=sys.stderr)
-        world = build_world(scale.world_config(args.seed))
-        gate_result = run_gate(
-            world, workers=args.workers, variant_sample=args.variant_sample, obs=obs
-        )
-        report = gate_result.report
-    else:
-        target = Path(args.target)
-        if target.is_dir():
-            items = [
-                (str(p), _read_patch(str(p))) for p in sorted(target.glob("*.patch"))
-            ]
-            pairs = [(path, frag) for path, p in items for frag in patch_fragments(p)]
-            report = lint_sources(
-                [(f"{path}:{fp}", text) for path, (fp, text) in pairs],
-                workers=args.workers,
-                obs=obs,
-                fragments=True,
+    manifest: dict = {
+        "format": "repro-run-manifest-v1",
+        "command": "lint",
+        "target": args.target,
+        "created_unix": time.time(),
+    }
+    with obs.span("cli.lint", target=args.target):
+        if args.target is None:
+            # No target: build a world at --scale and run the full gate.
+            scale = _SCALES[args.scale]
+            print(f"building {scale.name} world (seed {args.seed})...", file=sys.stderr)
+            with obs.span("world.build", scale=scale.name, seed=args.seed):
+                world = build_world(scale.world_config(args.seed))
+            manifest.update(
+                scale=scale.name, seed=args.seed, world_digest=world.digest()
             )
-        elif target.suffix == ".jsonl":
-            # Synthetic records carry _SYS_ scaffolding by construction, so
-            # the scaffold-leak checker only applies to natural records.
-            natural_pairs: list[tuple[str, str]] = []
-            synthetic_pairs: list[tuple[str, str]] = []
-            for record in PatchDB.iter_jsonl(target):
-                dest = synthetic_pairs if record.source == "synthetic" else natural_pairs
-                for fp, text in patch_fragments(record.patch):
-                    dest.append((f"{record.patch.sha[:12]}:{fp}", text))
-            no_scaffold = make_checkers([c for c in CHECKER_IDS if c != "scaffold-leak"])
-            rep_nat = lint_sources(
-                natural_pairs, workers=args.workers, obs=obs, fragments=True
+            gate_result = run_gate(
+                world, workers=args.workers, variant_sample=args.variant_sample, obs=obs
             )
-            rep_syn = lint_sources(
-                synthetic_pairs,
-                checkers=no_scaffold,
-                workers=args.workers,
-                obs=obs,
-                fragments=True,
-            )
-            report = LintReport(
-                files=sorted(rep_nat.files + rep_syn.files, key=lambda fr: fr.path)
-            )
+            report = gate_result.report
         else:
-            report = lint_sources(
-                [(str(target), target.read_text())], workers=args.workers, obs=obs
-            )
+            target = Path(args.target)
+            if target.is_dir():
+                items = [
+                    (str(p), _read_patch(str(p))) for p in sorted(target.glob("*.patch"))
+                ]
+                pairs = [(path, frag) for path, p in items for frag in patch_fragments(p)]
+                report = lint_sources(
+                    [(f"{path}:{fp}", text) for path, (fp, text) in pairs],
+                    workers=args.workers,
+                    obs=obs,
+                    fragments=True,
+                )
+            elif target.suffix == ".jsonl":
+                # Synthetic records carry _SYS_ scaffolding by construction, so
+                # the scaffold-leak checker only applies to natural records.
+                natural_pairs: list[tuple[str, str]] = []
+                synthetic_pairs: list[tuple[str, str]] = []
+                for record in PatchDB.iter_jsonl(target):
+                    dest = synthetic_pairs if record.source == "synthetic" else natural_pairs
+                    for fp, text in patch_fragments(record.patch):
+                        dest.append((f"{record.patch.sha[:12]}:{fp}", text))
+                no_scaffold = make_checkers([c for c in CHECKER_IDS if c != "scaffold-leak"])
+                rep_nat = lint_sources(
+                    natural_pairs, workers=args.workers, obs=obs, fragments=True
+                )
+                rep_syn = lint_sources(
+                    synthetic_pairs,
+                    checkers=no_scaffold,
+                    workers=args.workers,
+                    obs=obs,
+                    fragments=True,
+                )
+                report = LintReport(
+                    files=sorted(rep_nat.files + rep_syn.files, key=lambda fr: fr.path)
+                )
+            else:
+                report = lint_sources(
+                    [(str(target), target.read_text())], workers=args.workers, obs=obs
+                )
 
     if args.format == "json":
         import json as _json
@@ -245,8 +342,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"wrote report to {args.output}", file=sys.stderr)
     else:
         print(text)
-    if args.stats:
-        print(f"\n{obs.report()}", file=sys.stderr)
+    manifest["files_linted"] = obs.count("files_linted")
+    manifest["wall_clock_s"] = round(time.perf_counter() - start, 3)
+    _emit_observability(args, obs, manifest)
 
     if args.fail_on == "never":
         return 0
@@ -256,6 +354,44 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if gate_result is not None and gate_result.variant_failures:
         return 1
     return 1 if failing else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .trace import load_trace, render_span_tree, render_top_phases
+
+    try:
+        trace = load_trace(args.trace_file)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_span_tree(trace))
+    print()
+    print(render_top_phases(trace, top=args.top))
+    counters = trace.summary.get("counters", {})
+    if counters and args.counters:
+        print("\ncounters:")
+        for name in sorted(counters):
+            print(f"  {name:>28s}: {counters[name]}")
+    return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags of every world-building command."""
+    parser.add_argument(
+        "--stats", action="store_true", help="print phase timings and counters to stderr"
+    )
+    parser.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write merged timers/call counts/counters/histograms as JSON",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="JSONL",
+        help="export the run's span trace + manifest (render with `repro trace`)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -277,10 +413,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NPZ",
         help="persist/reuse feature vectors at this .npz path",
     )
-    p_build.add_argument(
-        "--stats", action="store_true", help="print phase timings and counters to stderr"
-    )
+    _add_obs_flags(p_build)
     p_build.set_defaults(func=_cmd_build)
+
+    p_aug = sub.add_parser(
+        "augment", help="run the Table II augmentation rounds (nearest-link loop)"
+    )
+    p_aug.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    p_aug.add_argument("--seed", type=int, default=2021)
+    p_aug.add_argument(
+        "--workers", type=int, default=None, help="parallel feature-extraction processes"
+    )
+    p_aug.add_argument(
+        "--feature-cache",
+        default=None,
+        metavar="NPZ",
+        help="persist/reuse feature vectors at this .npz path",
+    )
+    _add_obs_flags(p_aug)
+    p_aug.set_defaults(func=_cmd_augment)
 
     p_eval = sub.add_parser("evaluate", help="run the Table III/IV/VI evaluation suite")
     p_eval.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
@@ -311,9 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PKL",
         help="persist/reuse RNN token sequences at this pickle path",
     )
-    p_eval.add_argument(
-        "--stats", action="store_true", help="print phase timings and counters to stderr"
-    )
+    _add_obs_flags(p_eval)
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_stats = sub.add_parser("stats", help="summarize a PatchDB JSONL")
@@ -369,10 +518,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--max-findings", type=int, default=50, help="cap findings printed in text mode"
     )
-    p_lint.add_argument(
-        "--stats", action="store_true", help="print phase timings and counters to stderr"
-    )
+    _add_obs_flags(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_trace = sub.add_parser(
+        "trace", help="render an exported run trace (span tree + top phases)"
+    )
+    p_trace.add_argument("trace_file", help="trace JSONL written by --trace")
+    p_trace.add_argument(
+        "--top", type=int, default=10, metavar="N", help="phases to list by total time"
+    )
+    p_trace.add_argument(
+        "--counters", action="store_true", help="also print the run's counters"
+    )
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 
@@ -380,7 +539,14 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped to a pager/head that exited early; not an error.
+        # Detach stdout so interpreter shutdown doesn't re-raise on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

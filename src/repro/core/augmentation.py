@@ -192,7 +192,22 @@ class DatasetAugmentation:
     def run_schedule(
         self, seed_security_shas: list[str], sets: list[SearchSet]
     ) -> AugmentationOutcome:
-        """Run the Table II protocol over the given search sets."""
+        """Run the Table II protocol over the given search sets.
+
+        The run is traced as a span tree — ``augment.schedule`` →
+        ``augment.set`` (one per search set) → ``augment.round`` (one per
+        row of Table II, annotated with the candidate/verified counts) —
+        with the flat ``distance``/``search``/``verify`` phases accumulating
+        underneath as before.
+        """
+        with self.obs.span(
+            "augment.schedule", seed_security=len(seed_security_shas), sets=len(sets)
+        ):
+            return self._run_schedule(seed_security_shas, sets)
+
+    def _run_schedule(
+        self, seed_security_shas: list[str], sets: list[SearchSet]
+    ) -> AugmentationOutcome:
         outcome = AugmentationOutcome(security_shas=list(seed_security_shas))
         round_no = 0
         for search_set in sets:
@@ -206,39 +221,51 @@ class DatasetAugmentation:
             # round: verified shas become rows, reviewed columns are masked.
             pending_rows: list[str] = []
             pending_drop: np.ndarray = np.empty(0, dtype=np.int64)
-            for _ in range(search_set.rounds):
-                round_no += 1
-                self._require_sides(len(outcome.security_shas), n_live)
-                if self.incremental:
-                    if engine is None:
-                        engine = DistanceEngine(tolerance=self.tolerance, obs=self.obs)
-                        sec_matrix = self._cache.matrix(outcome.security_shas)
-                        pool_matrix = self._cache.matrix(pool)
-                        with self.obs.timer("distance"):
-                            distance = engine.reset(sec_matrix, pool_matrix)
-                    else:
-                        row_matrix = self._cache.matrix(pending_rows)
-                        with self.obs.timer("distance"):
-                            distance = engine.update(row_matrix, pending_drop)
-                    verified, rejected, reviewed_idx = self._review(distance, pool)
-                    pending_rows = list(verified)
-                    pending_drop = reviewed_idx
-                else:
-                    verified, rejected = self.run_round(outcome.security_shas, pool)
-                    reviewed = set(verified) | set(rejected)
-                    pool = [s for s in pool if s not in reviewed]
-                search_range = n_live
-                n_live -= len(verified) + len(rejected)
-                outcome.security_shas.extend(verified)
-                outcome.non_security_shas.extend(rejected)
-                result = RoundResult(
-                    round_no=round_no,
-                    set_name=search_set.name,
-                    search_range=search_range,
-                    candidates=len(verified) + len(rejected),
-                    verified_security=len(verified),
-                )
-                outcome.rounds.append(result)
-                if self.ratio_threshold and result.ratio < self.ratio_threshold:
-                    return outcome
+            with self.obs.span(
+                "augment.set",
+                set=search_set.name,
+                pool=len(pool),
+                rounds=search_set.rounds,
+            ):
+                for _ in range(search_set.rounds):
+                    round_no += 1
+                    self._require_sides(len(outcome.security_shas), n_live)
+                    with self.obs.span(
+                        "augment.round", round=round_no, set=search_set.name
+                    ) as round_span:
+                        if self.incremental:
+                            if engine is None:
+                                engine = DistanceEngine(tolerance=self.tolerance, obs=self.obs)
+                                sec_matrix = self._cache.matrix(outcome.security_shas)
+                                pool_matrix = self._cache.matrix(pool)
+                                with self.obs.timer("distance"):
+                                    distance = engine.reset(sec_matrix, pool_matrix)
+                            else:
+                                row_matrix = self._cache.matrix(pending_rows)
+                                with self.obs.timer("distance"):
+                                    distance = engine.update(row_matrix, pending_drop)
+                            verified, rejected, reviewed_idx = self._review(distance, pool)
+                            pending_rows = list(verified)
+                            pending_drop = reviewed_idx
+                        else:
+                            verified, rejected = self.run_round(outcome.security_shas, pool)
+                            reviewed = set(verified) | set(rejected)
+                            pool = [s for s in pool if s not in reviewed]
+                        search_range = n_live
+                        n_live -= len(verified) + len(rejected)
+                        outcome.security_shas.extend(verified)
+                        outcome.non_security_shas.extend(rejected)
+                        result = RoundResult(
+                            round_no=round_no,
+                            set_name=search_set.name,
+                            search_range=search_range,
+                            candidates=len(verified) + len(rejected),
+                            verified_security=len(verified),
+                        )
+                        outcome.rounds.append(result)
+                        if round_span is not None:
+                            round_span.attributes["candidates"] = result.candidates
+                            round_span.attributes["verified"] = result.verified_security
+                    if self.ratio_threshold and result.ratio < self.ratio_threshold:
+                        return outcome
         return outcome

@@ -34,7 +34,7 @@ from ..corpus.world import World
 from ..features.extractor import FeatureExtractor, RepoContext
 from ..features.vector import FEATURE_COUNT
 from ..ml.tokenizer import patch_token_sequence
-from ..obs import ObsRegistry
+from ..obs import ObsRegistry, ObsSnapshot
 from ..patch.model import Patch
 
 __all__ = ["PatchFeatureCache", "TokenSequenceCache"]
@@ -48,9 +48,13 @@ def _init_worker(world: World, use_context: bool) -> None:
     _WORKER_STATE = (world, use_context, {})
 
 
-def _extract_chunk(shas: list[str]) -> list[tuple[str, np.ndarray]]:
+def _extract_chunk(shas: list[str]) -> tuple[list[tuple[str, np.ndarray]], ObsSnapshot]:
+    """Extract one chunk in a worker, recording obs exactly like the serial
+    path (per-sha ``extract`` timer + ``vectors_extracted``) into a local
+    registry whose snapshot rides back with the results."""
     assert _WORKER_STATE is not None
     world, use_context, extractors = _WORKER_STATE
+    local = ObsRegistry()
     out = []
     for sha in shas:
         label = world.label(sha)
@@ -62,8 +66,12 @@ def _extract_chunk(shas: list[str]) -> list[tuple[str, np.ndarray]]:
                 context = RepoContext(total_files=files, total_functions=funcs)
             extractor = FeatureExtractor(context)
             extractors[label.repo_slug] = extractor
-        out.append((sha, extractor.extract(world.patch_for(sha))))
-    return out
+        patch = world.patch_for(sha)
+        with local.timer("extract"):
+            vec = extractor.extract(patch)
+        local.add("vectors_extracted")
+        out.append((sha, vec))
+    return out, local.snapshot()
 
 
 class PatchFeatureCache:
@@ -163,24 +171,36 @@ class PatchFeatureCache:
             self.obs.add("vector_cache_hits")
         return vec
 
-    def _extract_parallel(self, missing: list[str], workers: int) -> bool:
-        """Extract *missing* in a process pool; False on any pool failure."""
+    def _extract_parallel(self, missing: list[str], workers: int) -> set[str] | None:
+        """Extract *missing* in a process pool; None on any pool failure.
+
+        Returns the set of freshly extracted shas.  Worker-local obs
+        snapshots are merged in chunk order, so the merged ``extract``
+        timings and ``vectors_extracted`` counts match a serial run.
+        """
         # Enough chunks that stragglers rebalance, big enough to amortize IPC.
         n_chunks = min(len(missing), workers * 4)
         chunks = [list(c) for c in np.array_split(np.array(missing, dtype=object), n_chunks)]
+        results: dict[str, np.ndarray] = {}
+        snapshots = []
         try:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
                 initargs=(self._world, self._use_context),
             ) as pool:
-                for pairs in pool.map(_extract_chunk, chunks):
+                for pairs, snap in pool.map(_extract_chunk, chunks):
                     for sha, vec in pairs:
-                        self._vectors[sha] = vec
+                        results[sha] = vec
+                    snapshots.append(snap)
         except Exception:
-            return False
-        self.obs.add("vectors_extracted", len(missing))
-        return True
+            # Nothing merged or cached yet, so the serial fallback in
+            # ``matrix`` re-extracts (and re-counts) from a clean slate.
+            return None
+        for snap in snapshots:
+            self.obs.merge(snap)
+        self._vectors.update(results)
+        return set(results)
 
     def matrix(self, shas: list[str], workers: int | None = None) -> np.ndarray:
         """Stack vectors for *shas* into an ``(N, 60)`` matrix.
@@ -188,12 +208,13 @@ class PatchFeatureCache:
         Args:
             shas: commits, in output row order (duplicates allowed).
             workers: >1 extracts missing vectors in a process pool; ``None``
-                uses the cache's ``default_workers``.  Results are identical
-                to serial extraction.
+                uses the cache's ``default_workers``.  Results — including
+                merged obs counters — are identical to serial extraction.
         """
         if not shas:
             return np.zeros((0, FEATURE_COUNT), dtype=np.float64)
         workers = workers if workers is not None else self.default_workers
+        fresh: set[str] = set()
         if workers is not None and workers > 1:
             seen: set[str] = set()
             missing = [
@@ -202,8 +223,27 @@ class PatchFeatureCache:
             # Below ~2 chunks per worker the pool costs more than it saves.
             if len(missing) >= 2 * workers:
                 with self.obs.timer("extract_parallel"):
-                    self._extract_parallel(missing, workers)
-        return np.vstack([self.vector(s) for s in shas])
+                    fresh = self._extract_parallel(missing, workers) or set()
+        rows = []
+        hits = 0
+        for s in shas:
+            if s in fresh:
+                # First access of a worker-extracted sha: the worker already
+                # recorded its miss, so don't double-count it as a hit here.
+                fresh.discard(s)
+                rows.append(self._vectors[s])
+            else:
+                vec = self._vectors.get(s)
+                if vec is None:
+                    rows.append(self.vector(s))
+                else:
+                    # Same count as per-sha ``vector()`` calls, batched so
+                    # warm-cache lookups stay counter-overhead-free.
+                    hits += 1
+                    rows.append(vec)
+        if hits:
+            self.obs.add("vector_cache_hits", hits)
+        return np.vstack(rows)
 
     def __len__(self) -> int:
         return len(self._vectors)
@@ -218,10 +258,20 @@ def _init_token_worker(world: World, include_context: bool) -> None:
     _TOKEN_WORKER_STATE = (world, include_context)
 
 
-def _tokenize_chunk(shas: list[str]) -> list[tuple[str, list[str]]]:
+def _tokenize_chunk(shas: list[str]) -> tuple[list[tuple[str, list[str]]], ObsSnapshot]:
+    """Tokenize one chunk in a worker, recording obs exactly like the serial
+    path (per-sha ``tokenize`` timer + ``token_cache_misses``)."""
     assert _TOKEN_WORKER_STATE is not None
     world, include_context = _TOKEN_WORKER_STATE
-    return [(s, patch_token_sequence(world.patch_for(s), include_context)) for s in shas]
+    local = ObsRegistry()
+    out = []
+    for sha in shas:
+        patch = world.patch_for(sha)
+        with local.timer("tokenize"):
+            seq = patch_token_sequence(patch, include_context)
+        local.add("token_cache_misses")
+        out.append((sha, seq))
+    return out, local.snapshot()
 
 
 class TokenSequenceCache:
@@ -343,6 +393,7 @@ class TokenSequenceCache:
                 identical to serial tokenization.
         """
         workers = workers if workers is not None else self.default_workers
+        fresh: set[str] = set()
         if workers is not None and workers > 1:
             seen: set[str] = set()
             missing = [
@@ -351,26 +402,57 @@ class TokenSequenceCache:
             # Below ~2 chunks per worker the pool costs more than it saves.
             if len(missing) >= 2 * workers:
                 with self.obs.timer("tokenize_parallel"):
-                    self._tokenize_parallel(missing, workers)
-        return [self.sequence(s) for s in shas]
+                    fresh = self._tokenize_parallel(missing, workers) or set()
+        out = []
+        hits = 0
+        for s in shas:
+            if s in fresh:
+                # First access of a worker-tokenized sha: the worker already
+                # recorded its miss, so don't double-count it as a hit here.
+                fresh.discard(s)
+                out.append(self._sequences[s])
+            else:
+                seq = self._sequences.get(s)
+                if seq is None:
+                    out.append(self.sequence(s))
+                else:
+                    # Same count as per-sha ``sequence()`` calls, batched so
+                    # warm-cache lookups stay counter-overhead-free.
+                    hits += 1
+                    out.append(seq)
+        if hits:
+            self.obs.add("token_cache_hits", hits)
+        return out
 
-    def _tokenize_parallel(self, missing: list[str], workers: int) -> bool:
-        """Tokenize *missing* in a process pool; False on any pool failure."""
+    def _tokenize_parallel(self, missing: list[str], workers: int) -> set[str] | None:
+        """Tokenize *missing* in a process pool; None on any pool failure.
+
+        Returns the set of freshly tokenized shas.  Worker-local obs
+        snapshots are merged in chunk order, so the merged ``tokenize``
+        timings and ``token_cache_misses`` counts match a serial run.
+        """
         n_chunks = min(len(missing), workers * 4)
         chunks = [list(c) for c in np.array_split(np.array(missing, dtype=object), n_chunks)]
+        results: dict[str, list[str]] = {}
+        snapshots = []
         try:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_token_worker,
                 initargs=(self._world, self._include_context),
             ) as pool:
-                for pairs in pool.map(_tokenize_chunk, chunks):
+                for pairs, snap in pool.map(_tokenize_chunk, chunks):
                     for sha, seq in pairs:
-                        self._sequences[sha] = seq
+                        results[sha] = seq
+                    snapshots.append(snap)
         except Exception:
-            return False
-        self.obs.add("token_cache_misses", len(missing))
-        return True
+            # Nothing merged or cached yet, so the serial fallback in
+            # ``sequences`` re-tokenizes (and re-counts) from a clean slate.
+            return None
+        for snap in snapshots:
+            self.obs.merge(snap)
+        self._sequences.update(results)
+        return set(results)
 
     def __len__(self) -> int:
         return len(self._sequences)

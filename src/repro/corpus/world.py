@@ -17,6 +17,7 @@ commit.  Key dials mirror the paper's measured world:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -210,6 +211,22 @@ class World:
     def patches_for(self, shas: list[str]) -> list[Patch]:
         """Bulk :meth:`patch_for`."""
         return [self.patch_for(sha) for sha in shas]
+
+    def digest(self) -> str:
+        """Git-style content digest of the world: sha1 over its commit ids.
+
+        Commit shas already commit to repo slug, path contents, and history
+        position, so hashing the sorted sha set (with a per-sha security
+        bit) identifies the world's ground truth without walking any trees.
+        Two worlds with equal digests are interchangeable for every
+        experiment; run manifests record this so a trace can be matched to
+        the exact corpus that produced it.
+        """
+        h = hashlib.sha1()
+        for sha in sorted(self.labels):
+            h.update(sha.encode("ascii"))
+            h.update(b"1" if self.labels[sha].is_security else b"0")
+        return h.hexdigest()
 
 
 def _draw_type(rng: np.random.Generator, dist: dict[int, float]) -> int:

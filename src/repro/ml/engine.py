@@ -19,7 +19,7 @@ from __future__ import annotations
 import concurrent.futures
 from typing import Any, Sequence
 
-from ..obs import ObsRegistry
+from ..obs import ObsRegistry, ObsSnapshot
 
 __all__ = ["fit_many"]
 
@@ -29,10 +29,14 @@ __all__ = ["fit_many"]
 FitSpec = tuple[Any, Any, Any]
 
 
-def _fit_one(spec: FitSpec) -> Any:
+def _fit_one(spec: FitSpec) -> tuple[Any, ObsSnapshot]:
+    """Fit one spec, timing it into a local registry so per-fit ``fit``
+    latencies survive the trip back from a pool worker."""
     est, X, y = spec
-    est.fit(X, y)
-    return est
+    local = ObsRegistry()
+    with local.timer("fit"):
+        est.fit(X, y)
+    return est, local.snapshot()
 
 
 def fit_many(
@@ -63,15 +67,20 @@ def fit_many(
         try:
             with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
                 with obs.timer("fit_parallel"):
-                    fitted = list(pool.map(_fit_one, fits))
+                    results = list(pool.map(_fit_one, fits))
         except Exception:
             pass  # pool failure (pickling, resources): refit serially below
         else:
+            fitted = []
+            for est, snap in results:
+                fitted.append(est)
+                obs.merge(snap)
             obs.add("fits_parallel", len(fits))
             return fitted
     fitted = []
     for spec in fits:
-        with obs.timer("fit"):
-            fitted.append(_fit_one(spec))
+        est, snap = _fit_one(spec)
+        obs.merge(snap)
+        fitted.append(est)
         obs.add("fits_serial")
     return fitted

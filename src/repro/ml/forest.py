@@ -18,7 +18,7 @@ import concurrent.futures
 import numpy as np
 
 from ..errors import ModelError
-from ..obs import ObsRegistry
+from ..obs import ObsRegistry, ObsSnapshot
 from .base import Classifier, check_X, check_Xy, seeded_rng
 from .split import bootstrap_indices
 from .tree import DecisionTreeClassifier
@@ -45,10 +45,17 @@ def _fit_one_tree(
     return tree
 
 
-def _fit_tree_chunk(seeds: list[int]) -> list[DecisionTreeClassifier]:
+def _fit_tree_chunk(seeds: list[int]) -> tuple[list[DecisionTreeClassifier], ObsSnapshot]:
+    """Fit one chunk of trees in a worker, timing each into a local registry
+    (per-tree ``rf_tree`` latencies) whose snapshot rides back with them."""
     assert _FOREST_STATE is not None
     X, y, tree_kwargs = _FOREST_STATE
-    return [_fit_one_tree(X, y, tree_kwargs, s) for s in seeds]
+    local = ObsRegistry()
+    trees = []
+    for s in seeds:
+        with local.timer("rf_tree"):
+            trees.append(_fit_one_tree(X, y, tree_kwargs, s))
+    return trees, local.snapshot()
 
 
 class RandomForestClassifier(Classifier):
@@ -108,7 +115,11 @@ class RandomForestClassifier(Classifier):
                 self.obs.add("rf_trees_parallel", len(trees))
                 return self
         kwargs = self._tree_kwargs()
-        self.trees = [_fit_one_tree(X, y, kwargs, s) for s in seeds]
+        trees = []
+        for s in seeds:
+            with self.obs.timer("rf_tree"):
+                trees.append(_fit_one_tree(X, y, kwargs, s))
+        self.trees = trees
         self.obs.add("rf_trees_serial", len(self.trees))
         return self
 
@@ -119,6 +130,7 @@ class RandomForestClassifier(Classifier):
         # Enough chunks that stragglers rebalance, big enough to amortize IPC.
         n_chunks = min(len(seeds), self.n_jobs * 4)
         chunks = [list(c) for c in np.array_split(np.array(seeds, dtype=object), n_chunks)]
+        snapshots = []
         try:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.n_jobs,
@@ -126,10 +138,13 @@ class RandomForestClassifier(Classifier):
                 initargs=(X, y, self._tree_kwargs()),
             ) as pool:
                 trees: list[DecisionTreeClassifier] = []
-                for chunk_trees in pool.map(_fit_tree_chunk, chunks):
+                for chunk_trees, snap in pool.map(_fit_tree_chunk, chunks):
                     trees.extend(chunk_trees)
+                    snapshots.append(snap)
         except Exception:
             return None
+        for snap in snapshots:
+            self.obs.merge(snap)
         return trees
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

@@ -1,18 +1,49 @@
-"""Lightweight observability: wall-time phases and monotonic counters.
+"""Observability: spans, wall-time phases, counters, and latency histograms.
 
 One :class:`ObsRegistry` is threaded through the hot paths — feature
 extraction (:class:`~repro.core.cache.PatchFeatureCache`), tokenization
 (:class:`~repro.core.cache.TokenSequenceCache`), the incremental distance
 engine (:class:`~repro.features.normalize.DistanceEngine`), the augmentation
-loop, and model training (:func:`~repro.ml.fit_many`,
-:class:`~repro.ml.RandomForestClassifier`) — so a CLI run or benchmark can
-answer "where did the time go" without a profiler.  The registry is
-additive-only and cheap: a timer is one ``perf_counter`` pair, a counter is
-one dict add, and an unused registry costs nothing to carry.
+loop, model training (:func:`~repro.ml.fit_many`,
+:class:`~repro.ml.RandomForestClassifier`), and the linter
+(:func:`~repro.staticcheck.lint_sources`) — so a CLI run or benchmark can
+answer "where did the time go" without a profiler.
+
+Three recording primitives build on each other:
+
+* :meth:`ObsRegistry.timer` — a flat wall-time phase.  Each ``with`` body
+  adds to the phase's total seconds and call count and appends one latency
+  observation to the phase's histogram, so per-item phases (``extract``,
+  ``tokenize``, ``lint``, ``rf_tree``) report p50/p95/max, not just sums.
+* :meth:`ObsRegistry.add` — a monotonic integer counter.
+* :meth:`ObsRegistry.span` — a *hierarchical* phase.  A span nests under
+  the currently active span, carries arbitrary attributes
+  (``obs.span("augment.round", round=3)``), records a node in the span
+  tree for trace export, and still feeds the flat timer of the same name,
+  so every ``timer``-based consumer keeps working when a call site is
+  upgraded to a span.
+
+**Cross-process merge protocol.**  Process-pool workers cannot write to the
+parent's registry, so every chunked pool (feature cache, token cache,
+``fit_many``, the random forest, ``lint_sources``) has its workers record
+into a fresh local registry and pickle a :meth:`snapshot` back with each
+chunk result; the parent folds them in with :meth:`merge` in deterministic
+chunk order.  Merging adds timer seconds/calls and counters, concatenates
+histogram observations, and grafts any worker spans under the parent's
+active span — so serial and parallel runs report *identical* counters and
+timer call counts (parallel runs used to silently drop worker-side
+observations).  Merge is associative and commutative on counters and on
+histogram multisets (property-tested in ``tests/test_obs_merge.py``).
+
+**Export.**  :meth:`to_dict` is the machine-readable summary behind the CLI
+``--stats-json`` flag; :meth:`export_trace` writes a JSONL trace (manifest
+record, one record per span, summary record) that ``python -m repro trace``
+renders back into a span tree (see :mod:`repro.trace`).
 
 Phase timer names in use: ``extract``, ``extract_parallel``, ``distance``,
 ``search``, ``verify``, ``tokenize``, ``tokenize_parallel``, ``fit``,
-``fit_parallel``, ``lint``, ``lint_parallel``, ``gate``, ``delta``.
+``fit_parallel``, ``rf_tree``, ``lint``, ``lint_parallel``, ``gate``,
+``delta``.
 Counter names in use: ``vectors_extracted``, ``vector_cache_hits``,
 ``npz_vectors_loaded``, ``distance_cells_computed``,
 ``distance_cells_reused``, ``distance_full_recomputes``,
@@ -26,35 +57,192 @@ id, dashes as underscores), ``variant_equiv_checks``,
 
 from __future__ import annotations
 
+import json
+import math
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
 
-__all__ = ["ObsRegistry"]
+__all__ = ["ObsRegistry", "ObsSnapshot", "SpanRecord", "histogram_stats"]
+
+#: Attribute value types that survive JSON round-trips unchanged.
+_ATTR_TYPES = (str, int, float, bool, type(None))
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One node of the span tree.
+
+    Attributes:
+        span_id: registry-local id (1-based, allocation order).
+        parent_id: enclosing span's id, or ``None`` for a root span.
+        name: span name (dotted-phase convention, e.g. ``augment.round``).
+        attributes: caller-supplied key/value context.
+        start: seconds since the registry epoch when the span opened.
+        duration: wall seconds the span was open (-1.0 while still open).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+    start: float = 0.0
+    duration: float = -1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the ``span`` record of a trace file)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "attrs": dict(self.attributes),
+            "start": self.start,
+            "duration": self.duration,
+        }
+
+
+@dataclass(slots=True)
+class ObsSnapshot:
+    """A picklable, mergeable copy of a registry's observations.
+
+    This is what pool workers ship back to the parent: plain dicts and
+    lists, no locks, no clocks.  ``spans`` uses the worker registry's local
+    ids; :meth:`ObsRegistry.merge` remaps them into the receiving registry.
+    """
+
+    timers: dict[str, float] = field(default_factory=dict)
+    timer_calls: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    histograms: dict[str, list[float]] = field(default_factory=dict)
+    spans: list[SpanRecord] = field(default_factory=list)
+
+
+def histogram_stats(values: list[float]) -> dict[str, float]:
+    """Summary stats of one latency histogram: count/total/mean/p50/p95/max.
+
+    Percentiles use the nearest-rank method on the sorted observations, so
+    every reported quantile is an actually-observed latency.
+    """
+    if not values:
+        return {"count": 0, "total": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def rank(q: float) -> float:
+        return ordered[max(0, math.ceil(q * n) - 1)]
+
+    total = sum(ordered)
+    return {
+        "count": n,
+        "total": total,
+        "mean": total / n,
+        "p50": rank(0.50),
+        "p95": rank(0.95),
+        "max": ordered[-1],
+    }
 
 
 class ObsRegistry:
-    """Accumulates named wall-time phases and integer counters."""
+    """Accumulates spans, named wall-time phases, counters, and histograms.
 
-    def __init__(self) -> None:
+    Args:
+        enabled: when False every recording primitive is a no-op that still
+            runs its ``with`` body — the baseline the instrumentation
+            overhead benchmark compares against.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
         self._timers: dict[str, float] = {}
         self._timer_calls: dict[str, int] = {}
         self._counters: dict[str, int] = {}
+        self._hists: dict[str, list[float]] = {}
+        self._spans: list[SpanRecord] = []
+        self._stack: list[int] = []
+        self._next_span = 1
+        self._epoch = time.perf_counter()
+
+    # ---- recording --------------------------------------------------------
+
+    def _record(self, name: str, elapsed: float) -> None:
+        self._timers[name] = self._timers.get(name, 0.0) + elapsed
+        self._timer_calls[name] = self._timer_calls.get(name, 0) + 1
+        self._hists.setdefault(name, []).append(elapsed)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
-        """Accumulate the wall time of the ``with`` body under *name*."""
+        """Accumulate the wall time of the ``with`` body under *name*.
+
+        Feeds the flat phase total, the call count, and the phase's latency
+        histogram; does not create a span node (per-item phases would drown
+        the trace — use :meth:`span` for structural phases).
+        """
+        if not self.enabled:
+            yield
+            return
         start = time.perf_counter()
         try:
             yield
         finally:
+            self._record(name, time.perf_counter() - start)
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator["SpanRecord | None"]:
+        """Open a hierarchical span named *name* for the ``with`` body.
+
+        The span nests under the currently active span (spans opened inside
+        the body nest under this one), carries *attributes* into the trace,
+        and on close also feeds the flat timer of the same name, so any
+        existing ``timer`` consumer sees the span as a normal phase.
+
+        Yields the open :class:`SpanRecord` (or ``None`` when disabled) so
+        callers can attach attributes discovered mid-span::
+
+            with obs.span("augment.round", round=3) as sp:
+                ...
+                sp.attributes["verified"] = len(verified)
+        """
+        if not self.enabled:
+            yield None
+            return
+        bad = [k for k, v in attributes.items() if not isinstance(v, _ATTR_TYPES)]
+        for key in bad:
+            attributes[key] = repr(attributes[key])
+        record = SpanRecord(
+            span_id=self._next_span,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            attributes=attributes,
+            start=time.perf_counter() - self._epoch,
+        )
+        self._next_span += 1
+        self._spans.append(record)
+        self._stack.append(record.span_id)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
             elapsed = time.perf_counter() - start
-            self._timers[name] = self._timers.get(name, 0.0) + elapsed
-            self._timer_calls[name] = self._timer_calls.get(name, 0) + 1
+            record.duration = elapsed
+            self._stack.pop()
+            self._record(name, elapsed)
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment counter *name* by *amount*."""
+        if not self.enabled:
+            return
         self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one observation to histogram *name* (no timer bookkeeping)."""
+        if not self.enabled:
+            return
+        self._hists.setdefault(name, []).append(value)
+
+    # ---- read access ------------------------------------------------------
 
     @property
     def timers(self) -> dict[str, float]:
@@ -62,34 +250,168 @@ class ObsRegistry:
         return dict(self._timers)
 
     @property
+    def timer_calls(self) -> dict[str, int]:
+        """Completed ``timer``/``span`` bodies per phase (a copy)."""
+        return dict(self._timer_calls)
+
+    @property
     def counters(self) -> dict[str, int]:
         """Counter values (a copy)."""
         return dict(self._counters)
+
+    @property
+    def histograms(self) -> dict[str, list[float]]:
+        """Raw latency observations per phase (a copy)."""
+        return {name: list(values) for name, values in self._hists.items()}
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        """Recorded spans in allocation order (a shallow copy)."""
+        return list(self._spans)
 
     def seconds(self, name: str) -> float:
         """Accumulated seconds for one phase (0.0 if never timed)."""
         return self._timers.get(name, 0.0)
 
+    def calls(self, name: str) -> int:
+        """Completed timer/span bodies for one phase (0 if never timed)."""
+        return self._timer_calls.get(name, 0)
+
     def count(self, name: str) -> int:
         """Value of one counter (0 if never incremented)."""
         return self._counters.get(name, 0)
 
+    def hist_stats(self) -> dict[str, dict[str, float]]:
+        """Summary stats (count/total/mean/p50/p95/max) per histogram."""
+        return {name: histogram_stats(values) for name, values in self._hists.items()}
+
     def reset(self) -> None:
-        """Zero every timer and counter."""
+        """Zero every timer, counter, histogram, and span."""
         self._timers.clear()
         self._timer_calls.clear()
         self._counters.clear()
+        self._hists.clear()
+        self._spans.clear()
+        self._stack.clear()
+        self._next_span = 1
+        self._epoch = time.perf_counter()
+
+    # ---- merge protocol ---------------------------------------------------
+
+    def snapshot(self) -> ObsSnapshot:
+        """A picklable copy of every observation (see :class:`ObsSnapshot`)."""
+        return ObsSnapshot(
+            timers=dict(self._timers),
+            timer_calls=dict(self._timer_calls),
+            counters=dict(self._counters),
+            histograms={name: list(values) for name, values in self._hists.items()},
+            spans=[
+                SpanRecord(
+                    span_id=s.span_id,
+                    parent_id=s.parent_id,
+                    name=s.name,
+                    attributes=dict(s.attributes),
+                    start=s.start,
+                    duration=s.duration,
+                )
+                for s in self._spans
+            ],
+        )
+
+    def merge(self, other: "ObsSnapshot | ObsRegistry") -> None:
+        """Fold another registry's observations into this one.
+
+        Timer seconds and counters add, call counts add, histograms
+        concatenate (associative and commutative as multisets), and the
+        other side's spans are appended with fresh ids — root spans of
+        *other* are grafted under this registry's currently active span.
+        Pool parents call this once per worker chunk, in ``pool.map``
+        order, so repeated runs merge identically.
+        """
+        snap = other.snapshot() if isinstance(other, ObsRegistry) else other
+        if not self.enabled:
+            return
+        for name, secs in snap.timers.items():
+            self._timers[name] = self._timers.get(name, 0.0) + secs
+        for name, calls in snap.timer_calls.items():
+            self._timer_calls[name] = self._timer_calls.get(name, 0) + calls
+        for name, value in snap.counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, values in snap.histograms.items():
+            self._hists.setdefault(name, []).extend(values)
+        if snap.spans:
+            offset = self._next_span - 1
+            graft_parent = self._stack[-1] if self._stack else None
+            for s in snap.spans:
+                self._spans.append(
+                    SpanRecord(
+                        span_id=s.span_id + offset,
+                        parent_id=s.parent_id + offset if s.parent_id is not None else graft_parent,
+                        name=s.name,
+                        attributes=dict(s.attributes),
+                        start=s.start,
+                        duration=s.duration,
+                    )
+                )
+            self._next_span += len(snap.spans)
+
+    # ---- export -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary: timers, call counts, counters, histograms.
+
+        This is the payload behind the CLI ``--stats-json`` flag; histogram
+        stats carry per-item latency quantiles, and ``timer_calls`` makes
+        call counts machine-readable (they used to live only in
+        :meth:`report`'s text).
+        """
+        return {
+            "format": "repro-obs-stats-v1",
+            "timers": dict(sorted(self._timers.items())),
+            "timer_calls": dict(sorted(self._timer_calls.items())),
+            "counters": dict(sorted(self._counters.items())),
+            "histograms": {name: histogram_stats(v) for name, v in sorted(self._hists.items())},
+            "n_spans": len(self._spans),
+        }
+
+    def export_trace(self, path: str | Path, manifest: dict[str, Any] | None = None) -> Path:
+        """Write the run as a JSONL trace file; returns the path.
+
+        Line 1 is the ``manifest`` record (caller-supplied run identity:
+        seed, scale, world digest, wall clock — see
+        :meth:`~repro.analysis.experiments.ExperimentWorld.manifest`), then
+        one ``span`` record per span in allocation order, then a single
+        ``summary`` record with the flat timers/calls/counters/histogram
+        stats.  ``python -m repro trace <file>`` renders it back.
+        """
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps({"type": "manifest", **(manifest or {})}, sort_keys=True)]
+        lines.extend(json.dumps(s.to_dict(), sort_keys=True) for s in self._spans)
+        summary = self.to_dict()
+        lines.append(json.dumps({"type": "summary", **summary}, sort_keys=True))
+        target.write_text("\n".join(lines) + "\n")
+        return target
 
     def report(self) -> str:
-        """Human-readable phase/counter table."""
+        """Human-readable phase/counter table (histogram quantiles included)."""
         lines = []
         if self._timers:
             lines.append("phase timings:")
             for name in sorted(self._timers):
-                lines.append(
+                line = (
                     f"  {name:>28s}: {self._timers[name]:9.3f}s"
                     f"  ({self._timer_calls[name]} calls)"
                 )
+                values = self._hists.get(name)
+                if values and len(values) > 1:
+                    stats = histogram_stats(values)
+                    line += (
+                        f"  p50={stats['p50'] * 1e3:.2f}ms"
+                        f" p95={stats['p95'] * 1e3:.2f}ms"
+                        f" max={stats['max'] * 1e3:.2f}ms"
+                    )
+                lines.append(line)
         if self._counters:
             lines.append("counters:")
             for name in sorted(self._counters):

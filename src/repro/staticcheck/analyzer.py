@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import concurrent.futures
 
-from ..obs import ObsRegistry
+from ..obs import ObsRegistry, ObsSnapshot
 from ..patch.model import Patch
 from .checkers import CHECKER_IDS, Checker, make_checkers
 from .context import CheckContext
@@ -47,12 +47,19 @@ def _init_lint_worker(checker_ids: tuple[str, ...]) -> None:
     _LINT_WORKER_STATE = make_checkers(checker_ids)
 
 
-def _lint_chunk(items: list[tuple[str, str, bool]]) -> list[FileReport]:
+def _lint_chunk(items: list[tuple[str, str, bool]]) -> tuple[list[FileReport], ObsSnapshot]:
+    """Lint one chunk in a worker, timing each file into a local registry
+    (per-file ``lint`` latencies, matching the serial path) whose snapshot
+    rides back with the reports."""
     assert _LINT_WORKER_STATE is not None
-    return [
-        analyze_source(path, source, _LINT_WORKER_STATE, is_fragment=fragment)
-        for path, source, fragment in items
-    ]
+    local = ObsRegistry()
+    reports = []
+    for path, source, fragment in items:
+        with local.timer("lint"):
+            reports.append(
+                analyze_source(path, source, _LINT_WORKER_STATE, is_fragment=fragment)
+            )
+    return reports, local.snapshot()
 
 
 def analyze_source(
@@ -111,14 +118,13 @@ def lint_sources(
     # Below ~2 chunks per worker the pool costs more than it saves.
     if workers is not None and workers > 1 and len(tagged) >= 2 * workers:
         with obs.timer("lint_parallel"):
-            reports = _lint_parallel(tagged, checkers, workers)
+            reports = _lint_parallel(tagged, checkers, workers, obs)
     if reports is None:
         checker_objs = checkers if checkers is not None else make_checkers()
-        with obs.timer("lint"):
-            reports = [
-                analyze_source(path, text, checker_objs, is_fragment=frag)
-                for path, text, frag in tagged
-            ]
+        reports = []
+        for path, text, frag in tagged:
+            with obs.timer("lint"):
+                reports.append(analyze_source(path, text, checker_objs, is_fragment=frag))
     obs.add("files_linted", len(reports))
     report = LintReport(files=reports)
     obs.add("lint_findings", len(report.findings()))
@@ -131,8 +137,13 @@ def _lint_parallel(
     tagged: list[tuple[str, str, bool]],
     checkers: list[Checker] | None,
     workers: int,
+    obs: ObsRegistry,
 ) -> list[FileReport] | None:
-    """Lint *tagged* items in a process pool; None on any pool failure."""
+    """Lint *tagged* items in a process pool; None on any pool failure.
+
+    Worker-local obs snapshots are merged in chunk order, so the merged
+    per-file ``lint`` timings match a serial run.
+    """
     ids = tuple(c.id for c in checkers) if checkers is not None else CHECKER_IDS
     # Enough chunks that stragglers rebalance, big enough to amortize IPC.
     n_chunks = min(len(tagged), workers * 4)
@@ -145,9 +156,15 @@ def _lint_parallel(
             initializer=_init_lint_worker,
             initargs=(ids,),
         ) as pool:
-            reports = [fr for part in pool.map(_lint_chunk, chunks) for fr in part]
+            reports = []
+            snapshots = []
+            for part, snap in pool.map(_lint_chunk, chunks):
+                reports.extend(part)
+                snapshots.append(snap)
     except Exception:
         return None
+    for snap in snapshots:
+        obs.merge(snap)
     reports.sort(key=lambda fr: fr.path)
     return reports
 

@@ -1,0 +1,161 @@
+"""Reading and rendering exported run traces (``python -m repro trace``).
+
+A trace file is the JSONL written by :meth:`repro.obs.ObsRegistry.export_trace`:
+one ``manifest`` record (run identity: command, scale, seed, world digest,
+wall clock), one ``span`` record per span, and one ``summary`` record (flat
+timers, call counts, counters, histogram quantiles).  This module parses
+that file back into a span tree and renders the two views a human wants
+first: the tree ("what nested under what, and how long") and the top
+phases ("where did the time go").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .errors import ReproError
+
+__all__ = ["Trace", "TraceNode", "load_trace", "render_span_tree", "render_top_phases"]
+
+
+@dataclass(slots=True)
+class TraceNode:
+    """One span plus its children, reconstructed from the flat records."""
+
+    span_id: int
+    name: str
+    attributes: dict[str, Any]
+    start: float
+    duration: float
+    children: list["TraceNode"] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Trace:
+    """A parsed trace file: manifest, span roots, and the flat summary."""
+
+    manifest: dict[str, Any]
+    roots: list[TraceNode]
+    summary: dict[str, Any]
+    n_spans: int
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 0:
+        return "(open)"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.3f}s"
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Parse a trace JSONL file into a :class:`Trace`.
+
+    The span tree is rebuilt from the ``parent`` links; spans whose parent
+    never appears (e.g. a truncated file) become roots rather than being
+    dropped, and children are ordered by start time.
+
+    Raises:
+        ReproError: unreadable file, malformed JSON line, or no records.
+    """
+    target = Path(path)
+    try:
+        text = target.read_text()
+    except OSError as exc:
+        raise ReproError(f"cannot read trace file {target}: {exc}") from exc
+    manifest: dict[str, Any] = {}
+    summary: dict[str, Any] = {}
+    spans: list[dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{target}:{lineno}: malformed trace record: {exc}") from exc
+        kind = record.get("type")
+        if kind == "manifest":
+            manifest = {k: v for k, v in record.items() if k != "type"}
+        elif kind == "summary":
+            summary = {k: v for k, v in record.items() if k != "type"}
+        elif kind == "span":
+            spans.append(record)
+    if not manifest and not summary and not spans:
+        raise ReproError(f"{target}: no trace records found")
+
+    nodes: dict[int, TraceNode] = {}
+    for record in spans:
+        nodes[record["id"]] = TraceNode(
+            span_id=record["id"],
+            name=record.get("name", "?"),
+            attributes=record.get("attrs", {}) or {},
+            start=record.get("start", 0.0),
+            duration=record.get("duration", -1.0),
+        )
+    roots: list[TraceNode] = []
+    for record in spans:
+        node = nodes[record["id"]]
+        parent = nodes.get(record.get("parent"))
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: (n.start, n.span_id))
+    roots.sort(key=lambda n: (n.start, n.span_id))
+    return Trace(manifest=manifest, roots=roots, summary=summary, n_spans=len(spans))
+
+
+def render_span_tree(trace: Trace) -> str:
+    """The span tree as indented text, one line per span with duration/attrs."""
+    lines: list[str] = []
+    if trace.manifest:
+        parts = [
+            f"{key}={trace.manifest[key]}"
+            for key in ("command", "scale", "seed", "world_digest")
+            if key in trace.manifest
+        ]
+        lines.append("manifest: " + (" ".join(parts) if parts else "(empty)"))
+    if not trace.roots:
+        lines.append("(no spans recorded)")
+        return "\n".join(lines)
+
+    def walk(node: TraceNode, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        attrs = " ".join(f"{k}={v}" for k, v in node.attributes.items())
+        label = f"{node.name}  {_fmt_seconds(node.duration)}"
+        if attrs:
+            label += f"  [{attrs}]"
+        lines.append(prefix + connector + label)
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        for i, child in enumerate(node.children):
+            walk(child, child_prefix, i == len(node.children) - 1, False)
+
+    for root in trace.roots:
+        walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+def render_top_phases(trace: Trace, top: int = 10) -> str:
+    """The summary's flat phases ranked by total seconds, with quantiles."""
+    timers = trace.summary.get("timers", {})
+    if not timers:
+        return "(no phase summary in trace)"
+    calls = trace.summary.get("timer_calls", {})
+    hists = trace.summary.get("histograms", {})
+    ranked = sorted(timers.items(), key=lambda item: item[1], reverse=True)[:top]
+    lines = [f"top {len(ranked)} phases by total time:"]
+    for name, secs in ranked:
+        line = f"  {name:>28s}: {secs:9.3f}s  ({calls.get(name, 0)} calls)"
+        stats = hists.get(name)
+        if stats and stats.get("count", 0) > 1:
+            line += (
+                f"  p50={stats['p50'] * 1e3:.2f}ms"
+                f" p95={stats['p95'] * 1e3:.2f}ms"
+                f" max={stats['max'] * 1e3:.2f}ms"
+            )
+        lines.append(line)
+    return "\n".join(lines)

@@ -42,7 +42,17 @@ class TestParser:
 
     @pytest.mark.parametrize(
         "cmd",
-        ["build", "evaluate", "stats", "features", "categorize", "synthesize", "lint"],
+        [
+            "build",
+            "augment",
+            "evaluate",
+            "stats",
+            "features",
+            "categorize",
+            "synthesize",
+            "lint",
+            "trace",
+        ],
     )
     def test_subcommands_exist(self, cmd):
         parser = build_parser()
@@ -174,6 +184,60 @@ class TestEvaluate:
         assert "unknown table" in capsys.readouterr().err
 
 
+class TestAugmentAndTrace:
+    def test_augment_runs_table2(self, capsys):
+        assert main(["augment", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "round 1" in out
+        assert "wild security patches found" in out
+
+    def test_stats_json_payload(self, tmp_path, capsys):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        code = main(
+            ["augment", "--scale", "tiny", "--stats-json", str(stats_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(stats_path.read_text())
+        assert payload["format"] == "repro-obs-stats-v1"
+        assert payload["timer_calls"]["extract"] == payload["histograms"]["extract"]["count"]
+        assert payload["counters"]["vectors_extracted"] > 0
+        manifest = payload["manifest"]
+        assert manifest["format"] == "repro-run-manifest-v1"
+        assert manifest["command"] == "augment"
+        assert manifest["scale"] == "tiny"
+        assert len(manifest["world_digest"]) == 40
+        assert manifest["wall_clock_s"] > 0
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        assert main(["augment", "--scale", "tiny", "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert trace_path.exists()
+
+        assert main(["trace", str(trace_path), "--counters"]) == 0
+        out = capsys.readouterr().out
+        assert "cli.augment" in out
+        assert "augment.schedule" in out
+        assert "augment.round" in out
+        assert "└─" in out  # tree structure rendered
+        assert "top" in out and "phases" in out
+        assert "vectors_extracted" in out
+
+    def test_trace_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace", str(bad)]) == 2
+        assert capsys.readouterr().err != ""
+
+    def test_trace_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        capsys.readouterr()
+
+
 DIRTY_C = "void f(void) {\n    strcpy(dst, src);\n    int _SYS_left = 0;\n}\n"
 
 
@@ -235,6 +299,21 @@ class TestLint:
         assert code == 0
         assert report_path.exists()
         capsys.readouterr()
+
+    def test_lint_stats_json(self, dirty_file, tmp_path, capsys):
+        import json
+
+        stats_path = tmp_path / "lint-stats.json"
+        code = main(
+            ["lint", dirty_file, "--fail-on", "never", "--stats-json", str(stats_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(stats_path.read_text())
+        assert payload["counters"]["files_linted"] == 1
+        assert payload["timer_calls"]["lint"] == 1
+        assert payload["manifest"]["command"] == "lint"
+        assert payload["manifest"]["files_linted"] == 1
 
     def test_gate_mode_builds_world(self, capsys):
         import json

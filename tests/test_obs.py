@@ -1,8 +1,12 @@
 """Tests for the observability registry."""
 
+import json
+import pickle
 import time
 
-from repro.obs import ObsRegistry
+import pytest
+
+from repro.obs import ObsRegistry, ObsSnapshot, histogram_stats
 
 
 class TestObsRegistry:
@@ -65,3 +69,261 @@ class TestObsRegistry:
         obs.add("n")
         assert snapshot == {"n": 1}
         assert obs.count("n") == 2
+
+    def test_timer_calls_property(self):
+        obs = ObsRegistry()
+        for _ in range(3):
+            with obs.timer("phase"):
+                pass
+        assert obs.timer_calls == {"phase": 3}
+        assert obs.calls("phase") == 3
+        assert obs.calls("nope") == 0
+
+
+class TestHistograms:
+    def test_timer_feeds_histogram(self):
+        obs = ObsRegistry()
+        for _ in range(5):
+            with obs.timer("extract"):
+                pass
+        hists = obs.histograms
+        assert len(hists["extract"]) == 5
+        assert all(v >= 0.0 for v in hists["extract"])
+
+    def test_observe_without_timer(self):
+        obs = ObsRegistry()
+        obs.observe("latency", 0.5)
+        obs.observe("latency", 1.5)
+        assert obs.histograms == {"latency": [0.5, 1.5]}
+        assert obs.timers == {}
+
+    def test_histogram_stats_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]  # 1..100
+        stats = histogram_stats(values)
+        assert stats["count"] == 100
+        assert stats["p50"] == 50.0
+        assert stats["p95"] == 95.0
+        assert stats["max"] == 100.0
+        assert stats["mean"] == pytest.approx(50.5)
+
+    def test_histogram_stats_single_value(self):
+        stats = histogram_stats([2.0])
+        assert stats == {
+            "count": 1, "total": 2.0, "mean": 2.0, "p50": 2.0, "p95": 2.0, "max": 2.0,
+        }
+
+    def test_histogram_stats_empty(self):
+        assert histogram_stats([])["count"] == 0
+
+    def test_report_includes_quantiles(self):
+        obs = ObsRegistry()
+        for _ in range(4):
+            with obs.timer("extract"):
+                pass
+        report = obs.report()
+        assert "p50=" in report and "p95=" in report and "max=" in report
+
+
+class TestSpans:
+    def test_span_nesting(self):
+        obs = ObsRegistry()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            with obs.span("inner"):
+                pass
+        spans = obs.spans
+        assert [s.name for s in spans] == ["outer", "inner", "inner"]
+        outer = spans[0]
+        assert outer.parent_id is None
+        assert all(s.parent_id == outer.span_id for s in spans[1:])
+        assert all(s.duration >= 0.0 for s in spans)
+
+    def test_span_attributes(self):
+        obs = ObsRegistry()
+        with obs.span("augment.round", round=3, set="Set I") as sp:
+            sp.attributes["verified"] = 4
+        (span,) = obs.spans
+        assert span.attributes == {"round": 3, "set": "Set I", "verified": 4}
+
+    def test_span_non_json_attributes_coerced(self):
+        obs = ObsRegistry()
+        with obs.span("s", obj={1, 2}):
+            pass
+        (span,) = obs.spans
+        assert isinstance(span.attributes["obj"], str)
+        json.dumps(span.to_dict())  # must be serializable
+
+    def test_span_feeds_flat_timer(self):
+        obs = ObsRegistry()
+        with obs.span("phase"):
+            time.sleep(0.001)
+        assert obs.seconds("phase") >= 0.001
+        assert obs.calls("phase") == 1
+
+    def test_timer_does_not_create_span(self):
+        obs = ObsRegistry()
+        with obs.timer("extract"):
+            pass
+        assert obs.spans == []
+
+    def test_span_closes_on_exception(self):
+        obs = ObsRegistry()
+        try:
+            with obs.span("outer"):
+                with obs.span("boom"):
+                    raise RuntimeError
+        except RuntimeError:
+            pass
+        spans = obs.spans
+        assert all(s.duration >= 0.0 for s in spans)
+        # The stack unwound: a new span is a root again.
+        with obs.span("after"):
+            pass
+        assert obs.spans[-1].parent_id is None
+
+    def test_sibling_spans_share_parent(self):
+        obs = ObsRegistry()
+        with obs.span("root"):
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        root, a, b = obs.spans
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        obs = ObsRegistry(enabled=False)
+        with obs.timer("t"):
+            pass
+        with obs.span("s", k=1) as sp:
+            assert sp is None
+        obs.add("c")
+        obs.observe("h", 1.0)
+        assert obs.timers == {}
+        assert obs.counters == {}
+        assert obs.histograms == {}
+        assert obs.spans == []
+
+    def test_disabled_still_runs_body(self):
+        obs = ObsRegistry(enabled=False)
+        ran = []
+        with obs.timer("t"):
+            ran.append(1)
+        with obs.span("s"):
+            ran.append(2)
+        assert ran == [1, 2]
+
+
+class TestMerge:
+    def test_merge_adds_everything(self):
+        a, b = ObsRegistry(), ObsRegistry()
+        with a.timer("extract"):
+            pass
+        a.add("hits", 2)
+        with b.timer("extract"):
+            pass
+        with b.timer("lint"):
+            pass
+        b.add("hits", 3)
+        a.merge(b)
+        assert a.calls("extract") == 2
+        assert a.calls("lint") == 1
+        assert a.count("hits") == 5
+        assert len(a.histograms["extract"]) == 2
+
+    def test_merge_accepts_registry_or_snapshot(self):
+        a, b = ObsRegistry(), ObsRegistry()
+        b.add("n", 1)
+        a.merge(b)
+        a.merge(b.snapshot())
+        assert a.count("n") == 2
+
+    def test_merge_grafts_spans_under_active(self):
+        worker = ObsRegistry()
+        with worker.span("chunk"):
+            with worker.span("item"):
+                pass
+        parent = ObsRegistry()
+        with parent.span("pool"):
+            parent.merge(worker.snapshot())
+        by_name = {s.name: s for s in parent.spans}
+        assert by_name["chunk"].parent_id == by_name["pool"].span_id
+        assert by_name["item"].parent_id == by_name["chunk"].span_id
+
+    def test_merge_remaps_span_ids_uniquely(self):
+        worker = ObsRegistry()
+        with worker.span("w"):
+            pass
+        parent = ObsRegistry()
+        with parent.span("p"):
+            pass
+        parent.merge(worker.snapshot())
+        parent.merge(worker.snapshot())
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids)) == 3
+
+    def test_snapshot_is_deep(self):
+        obs = ObsRegistry()
+        obs.add("n")
+        with obs.timer("t"):
+            pass
+        snap = obs.snapshot()
+        obs.add("n")
+        with obs.timer("t"):
+            pass
+        assert snap.counters == {"n": 1}
+        assert snap.timer_calls == {"t": 1}
+        assert len(snap.histograms["t"]) == 1
+
+    def test_snapshot_pickles(self):
+        obs = ObsRegistry()
+        with obs.span("s", k=1):
+            with obs.timer("t"):
+                pass
+        obs.add("c", 3)
+        snap = pickle.loads(pickle.dumps(obs.snapshot()))
+        assert isinstance(snap, ObsSnapshot)
+        assert snap.counters == {"c": 3}
+        assert snap.spans[0].name == "s"
+
+
+class TestExport:
+    def test_to_dict_shape(self):
+        obs = ObsRegistry()
+        with obs.span("phase"):
+            with obs.timer("extract"):
+                pass
+        obs.add("hits", 2)
+        payload = obs.to_dict()
+        assert payload["format"] == "repro-obs-stats-v1"
+        assert payload["timer_calls"]["extract"] == 1
+        assert payload["counters"] == {"hits": 2}
+        assert payload["histograms"]["extract"]["count"] == 1
+        assert payload["n_spans"] == 1
+        json.dumps(payload)
+
+    def test_export_trace_roundtrip(self, tmp_path):
+        obs = ObsRegistry()
+        with obs.span("root", scale="tiny"):
+            with obs.span("child"):
+                pass
+        obs.add("hits")
+        path = obs.export_trace(tmp_path / "t.jsonl", manifest={"seed": 7})
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["type"] == "manifest"
+        assert lines[0]["seed"] == 7
+        spans = [rec for rec in lines if rec["type"] == "span"]
+        assert [s["name"] for s in spans] == ["root", "child"]
+        assert spans[1]["parent"] == spans[0]["id"]
+        assert lines[-1]["type"] == "summary"
+        assert lines[-1]["counters"] == {"hits": 1}
+
+    def test_export_trace_without_manifest(self, tmp_path):
+        obs = ObsRegistry()
+        path = obs.export_trace(tmp_path / "sub" / "t.jsonl")
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"type": "manifest"}

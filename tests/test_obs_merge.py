@@ -1,0 +1,93 @@
+"""Property tests for the cross-process obs merge protocol.
+
+The parallel paths (feature cache, token cache, ``fit_many``, the random
+forest, ``lint_sources``) merge worker snapshots chunk by chunk, and the
+chunking is an implementation detail — so the merged result must not depend
+on how observations were grouped (associativity) or, for the order-free
+parts, on the order the groups arrive in (commutativity).
+
+Exact laws: counters and timer call counts are integer sums, histograms are
+multisets — associative AND commutative.  Timer seconds are float sums, so
+associativity only holds approximately; we assert it with a tolerance.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import ObsRegistry, ObsSnapshot
+
+NAMES = st.sampled_from(["extract", "tokenize", "lint", "rf_tree", "hits"])
+
+SNAPSHOTS = st.builds(
+    ObsSnapshot,
+    timers=st.dictionaries(NAMES, st.floats(0.0, 10.0), max_size=4),
+    timer_calls=st.dictionaries(NAMES, st.integers(0, 1000), max_size=4),
+    counters=st.dictionaries(NAMES, st.integers(0, 10**6), max_size=4),
+    histograms=st.dictionaries(
+        NAMES, st.lists(st.floats(0.0, 10.0), max_size=6), max_size=4
+    ),
+)
+
+
+def merged(*snaps: ObsSnapshot) -> ObsRegistry:
+    obs = ObsRegistry()
+    for snap in snaps:
+        obs.merge(snap)
+    return obs
+
+
+def hist_multisets(obs: ObsRegistry) -> dict[str, Counter]:
+    return {name: Counter(values) for name, values in obs.histograms.items()}
+
+
+class TestMergeLaws:
+    @settings(max_examples=200, deadline=None)
+    @given(a=SNAPSHOTS, b=SNAPSHOTS)
+    def test_commutative(self, a, b):
+        ab, ba = merged(a, b), merged(b, a)
+        assert ab.counters == ba.counters
+        assert ab.timer_calls == ba.timer_calls
+        assert hist_multisets(ab) == hist_multisets(ba)
+        # Float sums of two terms commute exactly.
+        assert ab.timers == ba.timers
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=SNAPSHOTS, b=SNAPSHOTS, c=SNAPSHOTS)
+    def test_associative(self, a, b, c):
+        left = ObsRegistry()
+        left.merge(merged(a, b))
+        left.merge(c)
+        right = ObsRegistry()
+        right.merge(a)
+        right.merge(merged(b, c))
+        assert left.counters == right.counters
+        assert left.timer_calls == right.timer_calls
+        assert hist_multisets(left) == hist_multisets(right)
+        assert set(left.timers) == set(right.timers)
+        for name in left.timers:
+            assert left.timers[name] == pytest.approx(right.timers[name])
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=SNAPSHOTS)
+    def test_empty_is_identity(self, a):
+        obs = merged(a)
+        obs.merge(ObsSnapshot())
+        base = merged(a)
+        assert obs.counters == base.counters
+        assert obs.timers == base.timers
+        assert obs.timer_calls == base.timer_calls
+        assert hist_multisets(obs) == hist_multisets(base)
+
+    @settings(max_examples=100, deadline=None)
+    @given(chunks=st.lists(SNAPSHOTS, min_size=1, max_size=5))
+    def test_chunking_invariance(self, chunks):
+        """One merge per chunk == one merge of the pre-merged whole."""
+        per_chunk = merged(*chunks)
+        pre = ObsRegistry()
+        pre.merge(merged(*chunks).snapshot())
+        assert per_chunk.counters == pre.counters
+        assert per_chunk.timer_calls == pre.timer_calls
+        assert hist_multisets(per_chunk) == hist_multisets(pre)
