@@ -22,9 +22,18 @@ _SCALES = {"tiny": TINY, "small": SMALL, "medium": MEDIUM}
 
 @pytest.fixture(scope="session")
 def bench_world() -> ExperimentWorld:
-    """The shared experiment world for all benches."""
+    """The shared experiment world for all benches.
+
+    Cold builds use the sharded world builder (bit-identical to serial);
+    CI seeds the cache directory from the shared ``expworld-small``
+    artifact so bench jobs skip construction entirely.
+    """
     scale = _SCALES[os.environ.get("REPRO_BENCH_SCALE", "small").lower()]
-    return ExperimentWorld.cached(scale, cache_dir=os.path.join(os.path.dirname(__file__), ".cache"))
+    return ExperimentWorld.cached(
+        scale,
+        cache_dir=os.path.join(os.path.dirname(__file__), ".cache"),
+        workers=4,
+    )
 
 
 def print_table(title: str, body: str) -> None:

@@ -1,0 +1,109 @@
+"""Sharded world build vs the serial path: parity + wall-clock speedup.
+
+World construction is the fixed cost in front of every experiment; the
+sharded builder (`build_world(config, workers=N)`) fans per-repository
+history generation out to a process pool and merges deterministically, so
+it must be a *pure* optimization: identical `World.digest()`, identical
+label order, identical merged obs counters.  This bench builds the SMALL
+world both ways, asserts bit-identity, and records the measured speedup in
+``BENCH_world_build.json`` for CI to archive.
+
+The speedup assertion needs real cores: on a single-CPU runner the pool
+can only time-slice, so the >= 1.8x bar is enforced only when the process
+has >= 2 CPUs available (parity is asserted unconditionally).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import print_table
+
+from repro.analysis.experiments import MEDIUM, SMALL, TINY
+from repro.corpus.world import build_world
+from repro.obs import ObsRegistry
+
+_SCALES = {"tiny": TINY, "small": SMALL, "medium": MEDIUM}
+
+BUILD_WORKERS = 4
+SPEEDUP_BAR = 1.8
+
+
+def test_sharded_build_parity_and_speedup(benchmark):
+    scale = _SCALES[os.environ.get("REPRO_BENCH_SCALE", "small").lower()]
+    cpus = len(os.sched_getaffinity(0))
+
+    serial_obs = ObsRegistry()
+    start = time.perf_counter()
+    serial_world = build_world(scale.world_config(), workers=1, obs=serial_obs)
+    serial_s = time.perf_counter() - start
+
+    sharded_obs = ObsRegistry()
+    start = time.perf_counter()
+    sharded_world = build_world(scale.world_config(), workers=BUILD_WORKERS, obs=sharded_obs)
+    sharded_s = time.perf_counter() - start
+
+    speedup = serial_s / sharded_s
+    stats = sharded_world.build_stats
+    body = "\n".join(
+        [
+            f"scale:                   {scale.name} ({scale.n_commits} commits, {scale.n_repos} repos)",
+            f"build workers:           {BUILD_WORKERS} ({cpus} CPUs available)",
+            f"serial build:            {serial_s:8.1f} s",
+            f"sharded build:           {sharded_s:8.1f} s",
+            f"speedup:                 {speedup:8.2f}x",
+            f"world digest:            {sharded_world.digest()}",
+            f"commits:                 {stats['produced']} produced / {stats['attempted']} attempted",
+            "",
+            sharded_obs.report(),
+        ]
+    )
+    print_table("Sharded world build vs serial construction", body)
+
+    # Sharding must be a pure optimization: same world, same accounting.
+    assert sharded_world.digest() == serial_world.digest()
+    assert list(sharded_world.labels) == list(serial_world.labels)
+    assert sharded_world.build_stats == serial_world.build_stats
+    assert sharded_obs.counters == serial_obs.counters
+    assert sharded_obs.calls("world.shard") == serial_obs.calls("world.shard")
+
+    payload = {
+        "bench": "world_build",
+        "scale": scale.name,
+        "n_commits": scale.n_commits,
+        "n_repos": scale.n_repos,
+        "build_workers": BUILD_WORKERS,
+        "cpus_available": cpus,
+        "serial_s": round(serial_s, 3),
+        "sharded_s": round(sharded_s, 3),
+        "speedup": round(speedup, 3),
+        "world_digest": sharded_world.digest(),
+        "digest_identical": sharded_world.digest() == serial_world.digest(),
+        "counters_identical": sharded_obs.counters == serial_obs.counters,
+        "commits_attempted": stats["attempted"],
+        "commits_produced": stats["produced"],
+        "commits_skipped": stats["skipped_no_c_paths"] + stats["skipped_exhausted"],
+        "counters": sharded_obs.counters,
+    }
+    out_path = os.path.join(os.path.dirname(__file__), "BENCH_world_build.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    # Acceptance: >= 1.8x at SMALL with 4 workers — on hardware that can
+    # actually run the shards concurrently.
+    if cpus >= 2:
+        assert speedup >= SPEEDUP_BAR, (
+            f"sharded build only {speedup:.2f}x faster "
+            f"(serial {serial_s:.1f} s vs sharded {sharded_s:.1f} s on {cpus} CPUs)"
+        )
+
+    # Record the sharded build in the benchmark table.
+    benchmark.pedantic(
+        lambda: build_world(scale.world_config(), workers=BUILD_WORKERS),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )

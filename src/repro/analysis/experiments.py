@@ -130,8 +130,9 @@ class ExperimentWorld:
             processes (see :class:`PatchFeatureCache`).
         token_cache: optional pickle path; RNN token sequences persist
             across processes (see :class:`TokenSequenceCache`).
-        workers: default process count for parallel feature extraction
-            and token-cache warm-up.
+        workers: process count for the sharded world build and the default
+            for parallel feature extraction and token-cache warm-up; the
+            built world is bit-identical at every worker count.
         ml_workers: default for the ``ml_workers`` argument of
             :func:`run_table3`/:func:`run_table4`/:func:`run_table6` —
             enables the cached, parallel evaluation engine.
@@ -142,7 +143,10 @@ class ExperimentWorld:
     """
 
     #: Bumped when the pickled layout changes; stale disk caches rebuild.
-    _CACHE_REV = 4
+    #: Rev 5: sharded per-repo world RNG scheme + real commit weekdays
+    #: (world bytes and digests changed once), build_stats on World, and
+    #: patch caches dropped from pickles.
+    _CACHE_REV = 5
 
     def __init__(
         self,
@@ -159,8 +163,10 @@ class ExperimentWorld:
         self.obs = obs if obs is not None else ObsRegistry()
         self.ml_workers = ml_workers
         self._cache_rev = self._CACHE_REV
-        with self.obs.span("world.build", scale=scale.name, seed=seed, commits=scale.n_commits):
-            self.world: World = build_world(scale.world_config(seed))
+        with self.obs.span(
+            "world.build", scale=scale.name, seed=seed, commits=scale.n_commits, workers=workers
+        ):
+            self.world: World = build_world(scale.world_config(seed), workers=workers, obs=self.obs)
         with self.obs.span("nvd.build", seed=seed + 1):
             self.nvd: NvdDatabase = build_nvd(self.world, NvdConfig(seed=seed + 1))
         with self.obs.span("nvd.crawl"):
@@ -226,11 +232,13 @@ class ExperimentWorld:
         """The run manifest: everything needed to identify or replay a run.
 
         Records the scale preset (name and the counts it implies), the world
-        seed and git-style world digest, and the library's cache revision;
-        *extra* keys (command name, wall clock, output paths …) are merged
-        in by callers like the CLI.  This is the first record of every
-        exported trace file.
+        seed and git-style world digest, the build's attempted-vs-produced
+        commit accounting (so shard-merge parity is exactly checkable from
+        the manifest alone), and the library's cache revision; *extra* keys
+        (command name, wall clock, output paths …) are merged in by callers
+        like the CLI.  This is the first record of every exported trace file.
         """
+        stats = self.world.build_stats or {}
         base = {
             "format": "repro-run-manifest-v1",
             "scale": self.scale.name,
@@ -238,6 +246,13 @@ class ExperimentWorld:
             "n_repos": self.scale.n_repos,
             "seed": self.seed,
             "world_digest": self.world.digest(),
+            "commits_attempted": stats.get("attempted"),
+            "commits_produced": stats.get("produced"),
+            "commits_skipped": (
+                stats.get("skipped_no_c_paths", 0) + stats.get("skipped_exhausted", 0)
+                if stats
+                else None
+            ),
             "cache_rev": self._CACHE_REV,
             "created_unix": time.time(),
         }
@@ -254,12 +269,35 @@ class ExperimentWorld:
 
     # ---- disk caching -----------------------------------------------------
 
+    def rebind_obs(self, obs: ObsRegistry) -> None:
+        """Point this world's instrumentation at *obs*.
+
+        A cache-loaded world carries the registry of the run that built it;
+        a new run (e.g. a CLI invocation with its own ``--trace``) rebinds
+        so its spans and counters accumulate in one place.
+        """
+        self.obs = obs
+        self.cache.obs = obs
+        self.tokens.obs = obs
+        if getattr(self, "_deltas", None) is not None:
+            self._deltas.obs = obs
+
     @classmethod
-    def cached(cls, scale: ExperimentScale, seed: int = 2021, cache_dir: str | Path = ".cache") -> "ExperimentWorld":
+    def cached(
+        cls,
+        scale: ExperimentScale,
+        seed: int = 2021,
+        cache_dir: str | Path = ".cache",
+        workers: int | None = None,
+        obs: ObsRegistry | None = None,
+    ) -> "ExperimentWorld":
         """Build or load a pickled experiment world.
 
         World construction is the expensive part of every benchmark; caching
-        it on disk makes reruns start in seconds.
+        it on disk makes reruns start in seconds (CI builds the SMALL
+        artifact once and shares it across jobs).  *workers* parallelizes a
+        cold build; *obs* becomes the returned world's registry in both the
+        build and load paths.
         """
         cache_dir = Path(cache_dir)
         cache_dir.mkdir(parents=True, exist_ok=True)
@@ -269,10 +307,12 @@ class ExperimentWorld:
                 with path.open("rb") as fh:
                     loaded = pickle.load(fh)
                 if isinstance(loaded, cls) and getattr(loaded, "_cache_rev", 0) == cls._CACHE_REV:
+                    if obs is not None:
+                        loaded.rebind_obs(obs)
                     return loaded
             except Exception:
                 path.unlink(missing_ok=True)
-        built = cls(scale, seed)
+        built = cls(scale, seed, workers=workers, obs=obs)
         with path.open("wb") as fh:
             pickle.dump(built, fh)
         return built

@@ -54,6 +54,25 @@ from .patch.gitformat import parse_patch
 _SCALES = {"tiny": TINY, "small": SMALL, "medium": MEDIUM}
 
 
+def _experiment_world(args: argparse.Namespace, obs: ObsRegistry, **kwargs) -> ExperimentWorld:
+    """Construct the command's ExperimentWorld, honoring the shared flags.
+
+    ``--workers`` parallelizes the sharded world build (and seeds the
+    caches' default worker count); ``--world-cache DIR`` loads/persists the
+    whole built world as an ``ExperimentWorld.cached`` pickle so repeated
+    runs (and CI jobs sharing the artifact) skip construction entirely.
+    """
+    scale = _SCALES[args.scale]
+    if getattr(args, "world_cache", None):
+        ew = ExperimentWorld.cached(
+            scale, seed=args.seed, cache_dir=args.world_cache, workers=args.workers, obs=obs
+        )
+        if "ml_workers" in kwargs:
+            ew.ml_workers = kwargs["ml_workers"]
+        return ew
+    return ExperimentWorld(scale, seed=args.seed, workers=args.workers, obs=obs, **kwargs)
+
+
 def _emit_observability(
     args: argparse.Namespace,
     obs: ObsRegistry,
@@ -78,15 +97,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     obs = ObsRegistry()
     with obs.span("cli.build", scale=scale.name, seed=args.seed):
-        ew = ExperimentWorld(
-            scale, seed=args.seed, feature_cache=args.feature_cache, workers=args.workers, obs=obs
-        )
+        ew = _experiment_world(args, obs, feature_cache=args.feature_cache)
         db = build_patchdb(ew, synthesize=not args.no_synthetic)
         db.save_jsonl(args.output)
     for key, value in db.summary().items():
         print(f"{key:>24s}: {value}")
     if args.feature_cache:
-        path = ew.cache.save()
+        path = ew.cache.save(args.feature_cache)
         print(f"persisted {len(ew.cache)} feature vectors to {path}", file=sys.stderr)
     _emit_observability(
         args,
@@ -108,9 +125,7 @@ def _cmd_augment(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     obs = ObsRegistry()
     with obs.span("cli.augment", scale=scale.name, seed=args.seed):
-        ew = ExperimentWorld(
-            scale, seed=args.seed, feature_cache=args.feature_cache, workers=args.workers, obs=obs
-        )
+        ew = _experiment_world(args, obs, feature_cache=args.feature_cache)
         outcome = run_table2(ew)
     print("Table II — wild-based dataset construction")
     print(outcome.table())
@@ -119,7 +134,7 @@ def _cmd_augment(args: argparse.Namespace) -> int:
         f"(seed {len(ew.nvd_seed_shas)} NVD patches)"
     )
     if args.feature_cache:
-        path = ew.cache.save()
+        path = ew.cache.save(args.feature_cache)
         print(f"persisted {len(ew.cache)} feature vectors to {path}", file=sys.stderr)
     _emit_observability(
         args,
@@ -145,14 +160,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     obs = ObsRegistry()
     with obs.span("cli.evaluate", scale=scale.name, seed=args.seed, tables=args.tables):
-        ew = ExperimentWorld(
-            scale,
-            seed=args.seed,
+        ew = _experiment_world(
+            args,
+            obs,
             feature_cache=args.feature_cache,
             token_cache=args.token_cache,
-            workers=args.workers,
             ml_workers=args.ml_workers,
-            obs=obs,
         )
         if "3" in tables:
             print("Table III — augmentation methods")
@@ -165,10 +178,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             print("\nTable VI — cross-source generalization")
             print(run_table6(ew).table())
     if args.feature_cache:
-        path = ew.cache.save()
+        path = ew.cache.save(args.feature_cache)
         print(f"persisted {len(ew.cache)} feature vectors to {path}", file=sys.stderr)
     if args.token_cache:
-        path = ew.tokens.save()
+        path = ew.tokens.save(args.token_cache)
         print(f"persisted {len(ew.tokens)} token sequences to {path}", file=sys.stderr)
     _emit_observability(
         args,
@@ -273,10 +286,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             # No target: build a world at --scale and run the full gate.
             scale = _SCALES[args.scale]
             print(f"building {scale.name} world (seed {args.seed})...", file=sys.stderr)
-            with obs.span("world.build", scale=scale.name, seed=args.seed):
-                world = build_world(scale.world_config(args.seed))
+            with obs.span("world.build", scale=scale.name, seed=args.seed, workers=args.workers):
+                world = build_world(scale.world_config(args.seed), workers=args.workers, obs=obs)
+            stats = world.build_stats or {}
             manifest.update(
-                scale=scale.name, seed=args.seed, world_digest=world.digest()
+                scale=scale.name,
+                seed=args.seed,
+                world_digest=world.digest(),
+                commits_attempted=stats.get("attempted"),
+                commits_produced=stats.get("produced"),
+                commits_skipped=stats.get("skipped_no_c_paths", 0)
+                + stats.get("skipped_exhausted", 0),
             )
             gate_result = run_gate(
                 world, workers=args.workers, variant_sample=args.variant_sample, obs=obs
@@ -405,13 +425,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--seed", type=int, default=2021)
     p_build.add_argument("--no-synthetic", action="store_true", help="skip oversampling")
     p_build.add_argument(
-        "--workers", type=int, default=None, help="parallel feature-extraction processes"
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel world-build + feature-extraction processes "
+        "(the built world is bit-identical at every worker count)",
     )
     p_build.add_argument(
         "--feature-cache",
         default=None,
         metavar="NPZ",
         help="persist/reuse feature vectors at this .npz path",
+    )
+    p_build.add_argument(
+        "--world-cache",
+        default=None,
+        metavar="DIR",
+        help="load/persist the whole built world as an ExperimentWorld pickle in DIR",
     )
     _add_obs_flags(p_build)
     p_build.set_defaults(func=_cmd_build)
@@ -422,13 +452,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_aug.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
     p_aug.add_argument("--seed", type=int, default=2021)
     p_aug.add_argument(
-        "--workers", type=int, default=None, help="parallel feature-extraction processes"
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel world-build + feature-extraction processes",
     )
     p_aug.add_argument(
         "--feature-cache",
         default=None,
         metavar="NPZ",
         help="persist/reuse feature vectors at this .npz path",
+    )
+    p_aug.add_argument(
+        "--world-cache",
+        default=None,
+        metavar="DIR",
+        help="load/persist the whole built world as an ExperimentWorld pickle in DIR",
     )
     _add_obs_flags(p_aug)
     p_aug.set_defaults(func=_cmd_augment)
@@ -448,7 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
         "results are bit-identical to the serial default",
     )
     p_eval.add_argument(
-        "--workers", type=int, default=None, help="parallel feature-extraction/tokenization processes"
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel world-build/feature-extraction/tokenization processes",
     )
     p_eval.add_argument(
         "--feature-cache",
@@ -461,6 +503,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PKL",
         help="persist/reuse RNN token sequences at this pickle path",
+    )
+    p_eval.add_argument(
+        "--world-cache",
+        default=None,
+        metavar="DIR",
+        help="load/persist the whole built world as an ExperimentWorld pickle in DIR",
     )
     _add_obs_flags(p_eval)
     p_eval.set_defaults(func=_cmd_evaluate)
@@ -498,7 +546,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
     p_lint.add_argument("--seed", type=int, default=2021)
     p_lint.add_argument(
-        "--workers", type=int, default=None, help="lint in a process pool of this size"
+        "--workers",
+        type=int,
+        default=None,
+        help="build the world and lint in process pools of this size",
     )
     p_lint.add_argument("--format", choices=("text", "json"), default="text")
     p_lint.add_argument("--output", default=None, metavar="FILE", help="write the report here")

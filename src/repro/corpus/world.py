@@ -13,17 +13,32 @@ commit.  Key dials mirror the paper's measured world:
 * Per-source pattern-type distributions — the NVD skews long-tail with
   redesign/sanity-check heads while the wild is function-call-heavy
   (Fig. 6); the defaults encode those shapes.
+
+**Sharded construction.**  The paper crawls 313 independent repositories;
+histories never interact, so :func:`build_world` is organized around
+per-repository shards.  A parent ``np.random.SeedSequence(config.seed)``
+pre-draws the global step→repo schedule and each step's security/non-security
+decision, then spawns one child seed per repository; each shard builds its
+repository's full history (seed files, commits, labels) from its own child
+stream, so shards are mutually independent and can run in a process pool
+(``build_world(config, workers=N)``).  Shard results merge in repo-index
+order with per-shard label-count parity checks, and the serial path replays
+the identical sharded scheme — ``workers=1`` and ``workers=N`` produce
+bit-identical worlds (same :meth:`World.digest`, same label order) and
+bit-identical obs counter reports (see DESIGN.md, "Sharded world build").
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import datetime
 import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import CorpusError
-from ..ml.base import seeded_rng
+from ..obs import ObsRegistry, ObsSnapshot
 from ..patch.model import Patch
 from ..vcs.repository import Repository
 from .codegen import CodeGenerator
@@ -167,12 +182,40 @@ class WorldConfig:
 
 
 class World:
-    """The built world: repositories plus ground truth."""
+    """The built world: repositories plus ground truth.
 
-    def __init__(self, repos: dict[str, Repository], labels: dict[str, CommitLabel]) -> None:
+    Args:
+        repos: slug → repository, in repo-index order.
+        labels: sha → ground truth, in merge (repo-index, history) order.
+        build_stats: attempted/produced/skip accounting from the build
+            (totals plus a per-shard breakdown); ``None`` for hand-built
+            worlds.
+    """
+
+    def __init__(
+        self,
+        repos: dict[str, Repository],
+        labels: dict[str, CommitLabel],
+        build_stats: dict | None = None,
+    ) -> None:
         self.repos = repos
         self.labels = labels
+        self.build_stats = build_stats
         self._patch_cache: dict[str, Patch] = {}
+
+    def __getstate__(self) -> dict:
+        # The patch cache is a pure memo over repo contents; pickling it
+        # would bloat `ExperimentWorld.cached` artifacts and every payload
+        # shipped to pool workers.  Drop it and re-warm lazily on use.
+        state = self.__dict__.copy()
+        state["_patch_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Old pickles predate build_stats; keep attribute access total.
+        self.__dict__.setdefault("build_stats", None)
+        self.__dict__.setdefault("_patch_cache", {})
 
     # ---- views --------------------------------------------------------
 
@@ -241,22 +284,93 @@ def _message_anchor(rng: np.random.Generator, path: str, gen: CodeGenerator) -> 
     return base if rng.random() < 0.5 else gen.noun()
 
 
-def build_world(config: WorldConfig | None = None) -> World:
-    """Build a world per *config* (defaults to :class:`WorldConfig`())."""
-    config = config or WorldConfig()
-    config.validate()
-    rng = seeded_rng(config.seed)
-    gen = CodeGenerator(rng)
+_OWNERS = ("sunlab", "coreutils", "netstack", "imglib", "parsekit", "embedos", "dbkit", "mediax")
 
-    # --- seed repositories ------------------------------------------------
-    repos: dict[str, Repository] = {}
-    owners = ("sunlab", "coreutils", "netstack", "imglib", "parsekit", "embedos", "dbkit", "mediax")
-    for r in range(config.n_repos):
-        owner = owners[r % len(owners)]
-        slug = f"{owner}/{gen.module_name()}-{r}"
+
+@dataclass(frozen=True, slots=True)
+class _ShardTask:
+    """Everything one repository shard needs to build itself.
+
+    Self-contained and small (no world payload), so pool dispatch is cheap.
+
+    Attributes:
+        index: repo index (merge order and slug suffix).
+        owner: slug owner segment.
+        config: the world configuration.
+        seed: this repo's spawned child seed (independent of every sibling).
+        steps: ``(global step, is_security)`` pairs assigned to this repo by
+            the pre-drawn schedule, in global step order.
+    """
+
+    index: int
+    owner: str
+    config: WorldConfig
+    seed: np.random.SeedSequence
+    steps: tuple[tuple[int, bool], ...]
+
+
+@dataclass(slots=True)
+class _ShardResult:
+    """One shard's built repository, labels, and accounting."""
+
+    index: int
+    slug: str
+    repo: Repository
+    labels: list[CommitLabel]
+    stats: dict[str, int]
+    snapshot: ObsSnapshot
+
+
+def _shard_tasks(config: WorldConfig) -> list[_ShardTask]:
+    """Derive the deterministic shard plan for *config*.
+
+    The parent stream (seeded by ``SeedSequence(config.seed)``) pre-draws
+    the whole step→repo schedule and each step's security decision; the
+    spawned children seed the per-repo streams.  Every build mode (serial,
+    any worker count) starts from this identical plan.
+    """
+    parent = np.random.SeedSequence(config.seed)
+    schedule_rng = np.random.default_rng(parent)
+    repo_for_step = schedule_rng.integers(0, config.n_repos, size=config.n_commits)
+    security_for_step = schedule_rng.random(config.n_commits) < config.security_fraction
+    steps: list[list[tuple[int, bool]]] = [[] for _ in range(config.n_repos)]
+    for step in range(config.n_commits):
+        steps[int(repo_for_step[step])].append((step, bool(security_for_step[step])))
+    return [
+        _ShardTask(
+            index=r,
+            owner=_OWNERS[r % len(_OWNERS)],
+            config=config,
+            seed=child,
+            steps=tuple(steps[r]),
+        )
+        for r, child in enumerate(parent.spawn(config.n_repos))
+    ]
+
+
+def _build_shard(task: _ShardTask) -> _ShardResult:
+    """Build one repository's full history from its child seed.
+
+    Runs identically in-process and in a pool worker: observations go to a
+    local registry whose snapshot rides back for deterministic merging.
+    """
+    config = task.config
+    rng = np.random.default_rng(task.seed)
+    gen = CodeGenerator(rng)
+    local = ObsRegistry()
+    stats = {
+        "attempted": len(task.steps),
+        "produced": 0,
+        "skipped_no_c_paths": 0,
+        "skipped_exhausted": 0,
+        "security": 0,
+        "nonsec": 0,
+    }
+    with local.span("world.shard", repo_index=task.index, steps=len(task.steps)) as sp:
+        slug = f"{task.owner}/{gen.module_name()}-{task.index}"
         repo = Repository(slug)
         files: dict[str, str] = {
-            "README.md": f"# {slug}\n\nSynthetic project {r}.\n",
+            "README.md": f"# {slug}\n\nSynthetic project {task.index}.\n",
             "ChangeLog": "initial release\n",
             "Makefile": "all:\n\tcc -o app src/*.c\n",
         }
@@ -264,36 +378,147 @@ def build_world(config: WorldConfig | None = None) -> World:
             gfile = gen.gen_file(n_functions=config.functions_per_file)
             files[gfile.path] = gfile.render()
         repo.commit(files, "initial import", date=_date(rng, 0))
-        repos[slug] = repo
 
-    slugs = list(repos)
+        labels: list[CommitLabel] = []
+        for step, is_security in task.steps:
+            tree = repo.checkout(repo.head)
+            c_paths = [p for p in tree if p.endswith((".c", ".h"))]
+            if not c_paths:
+                stats["skipped_no_c_paths"] += 1
+                local.add("world_commits_skipped_no_c_paths")
+                continue
+            if is_security:
+                label = _apply_security(config, rng, gen, repo, tree, c_paths, step)
+            else:
+                label = _apply_nonsec(config, rng, gen, repo, tree, c_paths, step)
+            if label is None:
+                stats["skipped_exhausted"] += 1
+                local.add("world_commits_skipped_exhausted")
+                continue
+            labels.append(label)
+            stats["produced"] += 1
+            stats["security" if is_security else "nonsec"] += 1
+        local.add("world_commits_attempted", stats["attempted"])
+        local.add("world_commits_produced", stats["produced"])
+        if sp is not None:
+            sp.attributes["slug"] = slug
+            sp.attributes["produced"] = stats["produced"]
+    return _ShardResult(
+        index=task.index,
+        slug=slug,
+        repo=repo,
+        labels=labels,
+        stats=stats,
+        snapshot=local.snapshot(),
+    )
+
+
+def _merge_shards(
+    tasks: list[_ShardTask], results: list[_ShardResult], obs: ObsRegistry
+) -> World:
+    """Fold shard results into one World, in repo-index order.
+
+    Verifies per-shard label-count parity (attempted = produced + skips,
+    one label per produced commit, every label owned by its shard's repo)
+    so a lost or duplicated shard payload fails loudly instead of silently
+    shrinking the corpus.
+
+    Raises:
+        CorpusError: on any parity violation.
+    """
+    repos: dict[str, Repository] = {}
     labels: dict[str, CommitLabel] = {}
+    totals = {
+        "attempted": 0,
+        "produced": 0,
+        "skipped_no_c_paths": 0,
+        "skipped_exhausted": 0,
+        "security": 0,
+        "nonsec": 0,
+    }
+    shards: dict[str, dict[str, int]] = {}
+    for task, res in zip(tasks, results):
+        stats = res.stats
+        skips = stats["skipped_no_c_paths"] + stats["skipped_exhausted"]
+        if (
+            stats["attempted"] != len(task.steps)
+            or stats["produced"] + skips != stats["attempted"]
+            or len(res.labels) != stats["produced"]
+        ):
+            raise CorpusError(
+                f"shard {res.index} ({res.slug}) label-count parity violated: "
+                f"{len(task.steps)} scheduled, {stats['attempted']} attempted, "
+                f"{stats['produced']} produced + {skips} skipped, "
+                f"{len(res.labels)} labels"
+            )
+        if any(lab.repo_slug != res.slug for lab in res.labels):
+            raise CorpusError(f"shard {res.index} returned labels for a foreign repo")
+        if res.slug in repos:
+            raise CorpusError(f"duplicate repo slug {res.slug!r} across shards")
+        obs.merge(res.snapshot)
+        repos[res.slug] = res.repo
+        for lab in res.labels:
+            labels[lab.sha] = lab
+        shards[res.slug] = dict(stats)
+        for key in totals:
+            totals[key] += stats[key]
+    return World(repos, labels, build_stats={**totals, "shards": shards})
 
-    # --- drive histories ----------------------------------------------------
-    for step in range(config.n_commits):
-        slug = slugs[int(rng.integers(0, len(slugs)))]
-        repo = repos[slug]
-        tree = repo.checkout(repo.head)
-        c_paths = [p for p in tree if p.endswith((".c", ".h"))]
-        if not c_paths:
-            continue
 
-        is_security = rng.random() < config.security_fraction
-        if is_security:
-            label = _apply_security(config, rng, gen, repo, tree, c_paths, step)
-        else:
-            label = _apply_nonsec(config, rng, gen, repo, tree, c_paths, step)
-        if label is not None:
-            labels[label.sha] = label
+def _build_shards_parallel(
+    tasks: list[_ShardTask], workers: int
+) -> list[_ShardResult] | None:
+    """Build every shard in a process pool; None on any pool failure.
 
-    return World(repos, labels)
+    ``pool.map`` preserves task order, so merge order (and hence the world)
+    is identical to the serial path.
+    """
+    try:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_build_shard, tasks))
+    except Exception:
+        # Nothing merged yet; the serial fallback replays the identical
+        # shard plan from a clean slate.
+        return None
+
+
+def build_world(
+    config: WorldConfig | None = None,
+    workers: int | None = None,
+    obs: ObsRegistry | None = None,
+) -> World:
+    """Build a world per *config* (defaults to :class:`WorldConfig`()).
+
+    Args:
+        config: world knobs; see :class:`WorldConfig`.
+        workers: >1 builds repository shards in a process pool of this
+            size.  The result — label order, :meth:`World.digest`, and
+            merged obs counters — is bit-identical to the serial build.
+        obs: observability registry receiving per-shard spans and the
+            ``world_commits_*`` counters; a private one is used if omitted.
+    """
+    config = config or WorldConfig()
+    config.validate()
+    obs = obs if obs is not None else ObsRegistry()
+    tasks = _shard_tasks(config)
+    results: list[_ShardResult] | None = None
+    if workers is not None and workers > 1 and len(tasks) > 1:
+        with obs.timer("world_build_parallel"):
+            results = _build_shards_parallel(tasks, workers)
+    if results is None:
+        results = [_build_shard(task) for task in tasks]
+    return _merge_shards(tasks, results, obs)
+
+
+_WEEKDAYS = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
 
 
 def _date(rng: np.random.Generator, step: int) -> str:
     year = 2015 + (step // 400) % 5
     month = int(rng.integers(1, 13))
     day = int(rng.integers(1, 29))
-    return f"Thu {month:02d}/{day:02d} 12:00:00 {year} +0000"
+    weekday = _WEEKDAYS[datetime.date(year, month, day).weekday()]
+    return f"{weekday} {month:02d}/{day:02d} 12:00:00 {year} +0000"
 
 
 def _apply_security(

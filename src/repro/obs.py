@@ -43,8 +43,10 @@ renders back into a span tree (see :mod:`repro.trace`).
 Phase timer names in use: ``extract``, ``extract_parallel``, ``distance``,
 ``search``, ``verify``, ``tokenize``, ``tokenize_parallel``, ``fit``,
 ``fit_parallel``, ``rf_tree``, ``lint``, ``lint_parallel``, ``gate``,
-``delta``.
-Counter names in use: ``vectors_extracted``, ``vector_cache_hits``,
+``delta``, ``world.shard``, ``world_build_parallel``.
+Counter names in use: ``world_commits_attempted``,
+``world_commits_produced``, ``world_commits_skipped_no_c_paths``,
+``world_commits_skipped_exhausted``, ``vectors_extracted``, ``vector_cache_hits``,
 ``npz_vectors_loaded``, ``distance_cells_computed``,
 ``distance_cells_reused``, ``distance_full_recomputes``,
 ``distance_incremental_updates``, ``token_cache_hits``,

@@ -83,7 +83,10 @@ def synthesize_from_texts(
     if site_index >= len(sites):
         return None
     stmt = sites[site_index].stmt
-    suffix = f"{abs(hash((path, stmt.start_line, variant.variant_id))) % 10_000:04d}"
+    # Scaffold suffixes must be stable across processes (builtin hash() is
+    # salted per interpreter), or repeated builds emit different releases.
+    site_key = f"{path}:{stmt.start_line}:{variant.variant_id}".encode()
+    suffix = f"{int.from_bytes(hashlib.sha1(site_key).digest()[:4], 'big') % 10_000:04d}"
     try:
         new_source = apply_variant_text(
             source,

@@ -3,13 +3,22 @@
 import pytest
 
 from repro.analysis import build_patchdb
+from repro.analysis.experiments import TINY, ExperimentWorld
 from repro.core import PatchDB
 from repro.nvd import NvdCrawler, build_nvd
 
 
 @pytest.fixture(scope="module")
-def patchdb(experiment_world):
-    return build_patchdb(experiment_world, synthesize=True)
+def pipeline_world():
+    """A TINY world whose NVD seed set is large enough for augmentation to
+    find wild patches (the shared fixture's seed draws only 6 seed patches,
+    too few for nearest link to land any hits at this scale)."""
+    return ExperimentWorld(TINY, seed=3)
+
+
+@pytest.fixture(scope="module")
+def patchdb(pipeline_world):
+    return build_patchdb(pipeline_world, synthesize=True)
 
 
 class TestFullPipeline:
@@ -19,9 +28,9 @@ class TestFullPipeline:
         assert summary["wild_security"] > 0
         assert summary["synthetic_security"] > 0
 
-    def test_wild_records_verified(self, patchdb, experiment_world):
+    def test_wild_records_verified(self, patchdb, pipeline_world):
         for rec in patchdb.records(source="wild", is_security=True):
-            assert experiment_world.world.label(rec.patch.sha).is_security
+            assert pipeline_world.world.label(rec.patch.sha).is_security
 
     def test_nonsecurity_dataset_collected(self, patchdb):
         assert len(patchdb.records(source="wild", is_security=False)) > 0
@@ -47,9 +56,9 @@ class TestFullPipeline:
         loaded = PatchDB.load_jsonl(path)
         assert loaded.summary() == patchdb.summary()
 
-    def test_silent_patches_present(self, patchdb, experiment_world):
+    def test_silent_patches_present(self, patchdb, pipeline_world):
         """The paper's headline: wild security patches are not in any CVE."""
-        world = experiment_world.world
+        world = pipeline_world.world
         wild_sec = patchdb.records(source="wild", is_security=True)
         assert all(world.label(r.patch.sha).cve_id is None for r in wild_sec)
 
