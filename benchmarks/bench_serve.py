@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Serve-layer load benchmark: the CI ``serve-smoke`` entry point.
+
+A thin wrapper over ``python -m repro bench-serve`` with the bench suite's
+conventions baked in: the SMALL world loaded from the shared
+``benchmarks/.cache`` artifact (built on a cold run), the fitted classify
+model persisted next to it, and results written to
+``benchmarks/BENCH_serve.json``.  Exits non-zero on any 5xx or transport
+error, so CI's zero-5xx assertion is the exit code.
+
+Any extra arguments pass straight through to ``bench-serve``::
+
+    python benchmarks/bench_serve.py --duration 2 --concurrency 4
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.cli import main
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+DEFAULTS = [
+    "bench-serve",
+    "--scale",
+    os.environ.get("REPRO_BENCH_SCALE", "small"),
+    "--workers",
+    "4",
+    "--world-cache",
+    os.path.join(_HERE, ".cache"),
+    "--model-cache",
+    os.path.join(_HERE, ".cache", "serve-models.pkl"),
+    "--output",
+    os.path.join(_HERE, "BENCH_serve.json"),
+]
+
+if __name__ == "__main__":
+    sys.exit(main(DEFAULTS + sys.argv[1:]))

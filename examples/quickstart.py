@@ -21,7 +21,7 @@ import sys
 import time
 
 from repro.analysis import TINY, ExperimentWorld, build_patchdb
-from repro.core import PatchDB
+from repro.core import PatchDB, PatchQuery
 from repro.patch import render_patch
 
 
@@ -45,7 +45,7 @@ def main() -> None:
         print(f"    {key:>24s}: {value}")
 
     print("\none NVD-based security patch, as crawled:")
-    record = db.records(source="nvd", is_security=True)[0]
+    record = db.records(PatchQuery(source="nvd", is_security=True))[0]
     print("  " + "\n  ".join(render_patch(record.patch).splitlines()[:16]))
 
     db.save_jsonl(out_path)

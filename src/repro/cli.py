@@ -12,11 +12,16 @@ Commands:
 * ``lint``      — run the static-analysis suite over a built world (the
   validation gate), a PatchDB JSONL, or a directory of ``.patch`` files.
 * ``trace``     — render an exported run trace (span tree + top phases).
+* ``serve``     — stand up the long-running HTTP service (query/classify/
+  manifest endpoints) over a built world + PatchDB.
+* ``bench-serve`` — drive the service with the load generator and write
+  per-endpoint req/s + latency quantiles to ``BENCH_serve.json``.
 
-Every world-building command takes ``--stats`` (human-readable phase table
-on stderr), ``--stats-json PATH`` (machine-readable merged timers, call
-counts, counters, and latency histograms), and ``--trace PATH`` (JSONL span
-trace with a run manifest, for ``repro trace``).
+Shared flags come from two parent parsers instead of per-subcommand
+re-declarations: ``_world_parent()`` (``--scale``/``--seed``/``--workers``/
+``--world-cache``/``--feature-cache``) and ``_obs_parent()`` (``--stats``,
+``--stats-json PATH`` with machine-readable merged timers and counters,
+``--trace PATH`` with a JSONL span trace for ``repro trace``).
 
 The CLI wraps the library one-to-one; every command is also available
 programmatically (see README).
@@ -44,6 +49,7 @@ from .analysis.experiments import (
 )
 from .core.categorize import categorize_patch
 from .core.patchdb import PatchDB
+from .core.query import PatchQuery
 from .corpus.vulnpatterns import PATTERN_NAMES
 from .errors import ReproError
 from .features.extractor import extract_features
@@ -202,7 +208,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from collections import Counter
 
     types = Counter(
-        r.pattern_type for r in db.records(is_security=True) if r.pattern_type is not None
+        r.pattern_type
+        for r in db.records(PatchQuery(is_security=True))
+        if r.pattern_type is not None
     )
     total = sum(types.values())
     if total:
@@ -213,8 +221,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_text(path: str | Path, what: str = "file") -> str:
+    """Read a text file, folding OS failures into a clean CLI error."""
+    try:
+        return Path(path).read_text()
+    except OSError as exc:
+        reason = exc.strerror or type(exc).__name__
+        raise ReproError(f"cannot read {what} {str(path)!r}: {reason}") from exc
+
+
 def _read_patch(path: str):
-    return parse_patch(Path(path).read_text())
+    return parse_patch(_read_text(path, "patch file"))
 
 
 def _cmd_features(args: argparse.Namespace) -> int:
@@ -239,8 +256,8 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     from .synthesis.variants import VARIANTS
     from .synthesis.engine import synthesize_from_texts
 
-    before = Path(args.before).read_text()
-    after = Path(args.after).read_text()
+    before = _read_text(args.before, "source file")
+    after = _read_text(args.after, "source file")
     produced = 0
     for variant in VARIANTS:
         if args.variant and variant.variant_id != args.variant:
@@ -286,8 +303,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             # No target: build a world at --scale and run the full gate.
             scale = _SCALES[args.scale]
             print(f"building {scale.name} world (seed {args.seed})...", file=sys.stderr)
-            with obs.span("world.build", scale=scale.name, seed=args.seed, workers=args.workers):
-                world = build_world(scale.world_config(args.seed), workers=args.workers, obs=obs)
+            if getattr(args, "world_cache", None):
+                from .analysis.experiments import ExperimentWorld
+
+                world = ExperimentWorld.cached(
+                    scale,
+                    seed=args.seed,
+                    cache_dir=args.world_cache,
+                    workers=args.workers,
+                    obs=obs,
+                ).world
+            else:
+                with obs.span(
+                    "world.build", scale=scale.name, seed=args.seed, workers=args.workers
+                ):
+                    world = build_world(
+                        scale.world_config(args.seed), workers=args.workers, obs=obs
+                    )
             stats = world.build_stats or {}
             manifest.update(
                 scale=scale.name,
@@ -340,7 +372,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 )
             else:
                 report = lint_sources(
-                    [(str(target), target.read_text())], workers=args.workers, obs=obs
+                    [(str(target), _read_text(target, "lint target"))],
+                    workers=args.workers,
+                    obs=obs,
                 )
 
     if args.format == "json":
@@ -395,86 +429,249 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
-    """The shared observability flags of every world-building command."""
-    parser.add_argument(
+def _make_service(args: argparse.Namespace, obs: ObsRegistry):
+    """Build the world + dataset + warmed service behind serve/bench-serve.
+
+    Honors the shared world flags (``--world-cache`` makes restarts load a
+    pickle instead of rebuilding), loads the dataset from ``--patchdb``
+    when given (skipping the construction pipeline), and warms the classify
+    model through the persisted ``--model-cache`` — a warm restart against
+    the same dataset performs no training at all.
+    """
+    from .analysis.experiments import build_patchdb as _build_patchdb
+    from .ml.model_cache import FittedModelCache
+    from .serve import PatchDBService
+
+    ew = _experiment_world(args, obs, feature_cache=args.feature_cache)
+    if args.patchdb:
+        _read_text(args.patchdb, "PatchDB JSONL")  # clean error on a bad path
+        db = PatchDB.load_jsonl(args.patchdb)
+        print(f"loaded {len(db)} records from {args.patchdb}", file=sys.stderr)
+    else:
+        db = _build_patchdb(ew)
+        print(f"built PatchDB with {len(db)} records", file=sys.stderr)
+    models = FittedModelCache(persist_path=args.model_cache, obs=obs)
+    service = PatchDBService(
+        ew,
+        db,
+        model_cache=models,
+        obs=obs,
+        max_batch=args.max_batch,
+        batch_wait_s=args.batch_wait_ms / 1000.0,
+    )
+    info = service.warm()
+    source = "cache hit" if info["cached"] else "cold fit"
+    print(
+        f"classify model warm ({source}, {info['n_train']} training records, "
+        f"{info['warm_s']}s) key={info['model_key'][:16]}",
+        file=sys.stderr,
+    )
+    if args.model_cache and not info["cached"]:
+        service.models.save()
+        print(f"persisted model cache to {args.model_cache}", file=sys.stderr)
+    return service
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import make_server
+
+    start = time.perf_counter()
+    obs = ObsRegistry()
+    with obs.span("cli.serve", scale=args.scale, seed=args.seed):
+        service = _make_service(args, obs)
+        server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"serving PatchDB on http://{host}:{port}", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        service.close()
+    _emit_observability(
+        args,
+        obs,
+        service.ew.manifest(
+            command="serve",
+            records=len(service.db),
+            model_key=service.model_key,
+            wall_clock_s=round(time.perf_counter() - start, 3),
+        ),
+    )
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from .serve import make_server
+    from .serve.bench import render_results, run_load, write_bench
+
+    start = time.perf_counter()
+    obs = ObsRegistry()
+    service = server = None
+    if args.url:
+        base = args.url.rstrip("/")
+    else:
+        with obs.span("cli.bench_serve", scale=args.scale, seed=args.seed):
+            service = _make_service(args, obs)
+            server = make_server(service, "127.0.0.1", 0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+    print(f"load-testing {base} ({args.duration}s x {args.concurrency} clients per endpoint)", file=sys.stderr)
+    try:
+        results = run_load(base, duration_s=args.duration, concurrency=args.concurrency)
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if service is not None:
+            service.close()
+    print(render_results(results))
+    meta = {
+        "url": base,
+        "duration_s": args.duration,
+        "concurrency": args.concurrency,
+        "in_process": server is not None,
+    }
+    if service is not None:
+        meta.update(scale=args.scale, seed=args.seed, records=len(service.db))
+    path = write_bench(args.output, results, meta=meta)
+    print(f"wrote {path}", file=sys.stderr)
+    manifest: dict = {"format": "repro-run-manifest-v1", "command": "bench-serve", **meta}
+    if service is not None:
+        manifest = service.ew.manifest(command="bench-serve", **meta)
+    manifest["wall_clock_s"] = round(time.perf_counter() - start, 3)
+    _emit_observability(args, obs, manifest)
+    n_5xx = sum(r.n_5xx for r in results)
+    n_errors = sum(r.errors for r in results)
+    if n_5xx or n_errors:
+        print(f"FAIL: {n_5xx} server errors, {n_errors} transport errors", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """Parent parser: the shared observability flags of every world command."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--stats", action="store_true", help="print phase timings and counters to stderr"
     )
-    parser.add_argument(
+    parent.add_argument(
         "--stats-json",
         default=None,
         metavar="PATH",
         help="write merged timers/call counts/counters/histograms as JSON",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--trace",
         default=None,
         metavar="JSONL",
         help="export the run's span trace + manifest (render with `repro trace`)",
     )
+    return parent
+
+
+def _world_parent(feature_cache: bool = True) -> argparse.ArgumentParser:
+    """Parent parser: the shared world-building flags.
+
+    Every command that constructs a world gets the same ``--scale``/
+    ``--seed``/``--workers``/``--world-cache`` spelling from here instead
+    of re-declaring (and subtly re-wording) them per subcommand.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    parent.add_argument("--seed", type=int, default=2021)
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count for the sharded world build and the parallel "
+        "feature/token/lint pools (results are bit-identical at every count)",
+    )
+    parent.add_argument(
+        "--world-cache",
+        default=None,
+        metavar="DIR",
+        help="load/persist the whole built world as an ExperimentWorld pickle in DIR",
+    )
+    if feature_cache:
+        parent.add_argument(
+            "--feature-cache",
+            default=None,
+            metavar="NPZ",
+            help="persist/reuse feature vectors at this .npz path",
+        )
+    return parent
+
+
+def _serve_parent() -> argparse.ArgumentParser:
+    """Parent parser: the service construction flags shared by
+    ``serve`` and ``bench-serve``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--patchdb",
+        default=None,
+        metavar="JSONL",
+        help="serve this PatchDB release instead of running the construction pipeline",
+    )
+    parent.add_argument(
+        "--model-cache",
+        default=None,
+        metavar="PKL",
+        help="persist/reuse the fitted classify model at this pickle path "
+        "(keyed by training-set sha; corrupt files degrade to a cold fit)",
+    )
+    parent.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="largest classify micro-batch per model call",
+    )
+    parent.add_argument(
+        "--batch-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long classify waits to co-batch concurrent requests",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser (exposed for testing)."""
+    """Construct the argument parser (exposed for testing).
+
+    World-building subcommands share their flags through the
+    :func:`_world_parent`/:func:`_obs_parent` parent parsers; only flags
+    unique to a command are declared at its subparser.
+    """
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
+    obs_parent = _obs_parent()
+    world_parent = _world_parent()
+    serve_parent = _serve_parent()
 
-    p_build = sub.add_parser("build", help="run the full PatchDB construction pipeline")
+    p_build = sub.add_parser(
+        "build",
+        help="run the full PatchDB construction pipeline",
+        parents=[world_parent, obs_parent],
+    )
     p_build.add_argument("output", help="output JSONL path")
-    p_build.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
-    p_build.add_argument("--seed", type=int, default=2021)
     p_build.add_argument("--no-synthetic", action="store_true", help="skip oversampling")
-    p_build.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="parallel world-build + feature-extraction processes "
-        "(the built world is bit-identical at every worker count)",
-    )
-    p_build.add_argument(
-        "--feature-cache",
-        default=None,
-        metavar="NPZ",
-        help="persist/reuse feature vectors at this .npz path",
-    )
-    p_build.add_argument(
-        "--world-cache",
-        default=None,
-        metavar="DIR",
-        help="load/persist the whole built world as an ExperimentWorld pickle in DIR",
-    )
-    _add_obs_flags(p_build)
     p_build.set_defaults(func=_cmd_build)
 
     p_aug = sub.add_parser(
-        "augment", help="run the Table II augmentation rounds (nearest-link loop)"
+        "augment",
+        help="run the Table II augmentation rounds (nearest-link loop)",
+        parents=[world_parent, obs_parent],
     )
-    p_aug.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
-    p_aug.add_argument("--seed", type=int, default=2021)
-    p_aug.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="parallel world-build + feature-extraction processes",
-    )
-    p_aug.add_argument(
-        "--feature-cache",
-        default=None,
-        metavar="NPZ",
-        help="persist/reuse feature vectors at this .npz path",
-    )
-    p_aug.add_argument(
-        "--world-cache",
-        default=None,
-        metavar="DIR",
-        help="load/persist the whole built world as an ExperimentWorld pickle in DIR",
-    )
-    _add_obs_flags(p_aug)
     p_aug.set_defaults(func=_cmd_augment)
 
-    p_eval = sub.add_parser("evaluate", help="run the Table III/IV/VI evaluation suite")
-    p_eval.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
-    p_eval.add_argument("--seed", type=int, default=2021)
+    p_eval = sub.add_parser(
+        "evaluate",
+        help="run the Table III/IV/VI evaluation suite",
+        parents=[world_parent, obs_parent],
+    )
     p_eval.add_argument(
         "--tables", default="3,4,6", help="comma-separated subset of 3,4,6 (default: all)"
     )
@@ -487,30 +684,11 @@ def build_parser() -> argparse.ArgumentParser:
         "results are bit-identical to the serial default",
     )
     p_eval.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="parallel world-build/feature-extraction/tokenization processes",
-    )
-    p_eval.add_argument(
-        "--feature-cache",
-        default=None,
-        metavar="NPZ",
-        help="persist/reuse feature vectors at this .npz path",
-    )
-    p_eval.add_argument(
         "--token-cache",
         default=None,
         metavar="PKL",
         help="persist/reuse RNN token sequences at this pickle path",
     )
-    p_eval.add_argument(
-        "--world-cache",
-        default=None,
-        metavar="DIR",
-        help="load/persist the whole built world as an ExperimentWorld pickle in DIR",
-    )
-    _add_obs_flags(p_eval)
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_stats = sub.add_parser("stats", help="summarize a PatchDB JSONL")
@@ -534,7 +712,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_syn.set_defaults(func=_cmd_synthesize)
 
     p_lint = sub.add_parser(
-        "lint", help="run the static-analysis suite (validation gate without a target)"
+        "lint",
+        help="run the static-analysis suite (validation gate without a target)",
+        parents=[_world_parent(feature_cache=False), obs_parent],
     )
     p_lint.add_argument(
         "target",
@@ -542,14 +722,6 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="a C file, a PatchDB .jsonl, or a directory of .patch files; "
         "omit to build a world at --scale and run the full validation gate",
-    )
-    p_lint.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
-    p_lint.add_argument("--seed", type=int, default=2021)
-    p_lint.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="build the world and lint in process pools of this size",
     )
     p_lint.add_argument("--format", choices=("text", "json"), default="text")
     p_lint.add_argument("--output", default=None, metavar="FILE", help="write the report here")
@@ -569,8 +741,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--max-findings", type=int, default=50, help="cap findings printed in text mode"
     )
-    _add_obs_flags(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve PatchDB over HTTP (query/classify/manifest endpoints)",
+        parents=[world_parent, serve_parent, obs_parent],
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8127, help="listen port (0 picks a free one)"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_bench = sub.add_parser(
+        "bench-serve",
+        help="load-test the service and write BENCH_serve.json",
+        parents=[world_parent, serve_parent, obs_parent],
+    )
+    p_bench.add_argument(
+        "--url",
+        default=None,
+        help="bench an already-running server instead of spawning one in-process",
+    )
+    p_bench.add_argument(
+        "--duration", type=float, default=3.0, help="seconds of load per endpoint"
+    )
+    p_bench.add_argument(
+        "--concurrency", type=int, default=4, help="client threads per endpoint"
+    )
+    p_bench.add_argument(
+        "--output", default="BENCH_serve.json", metavar="JSON", help="results path"
+    )
+    p_bench.set_defaults(func=_cmd_bench_serve)
 
     p_trace = sub.add_parser(
         "trace", help="render an exported run trace (span tree + top phases)"
@@ -598,6 +801,9 @@ def main(argv: list[str] | None = None) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -19,6 +19,7 @@ from .categorize import categorize_many, categorize_patch
 from .nearest_link import NearestLinkResult, exact_assignment, link_distances, nearest_link_search
 from .oracle import VerificationOracle, VerificationStats
 from .patchdb import SOURCES, PatchDB, PatchRecord
+from .query import PatchQuery, QueryError
 
 __all__ = [
     "AugmentationOutcome",
@@ -27,7 +28,9 @@ __all__ = [
     "NearestLinkResult",
     "PatchDB",
     "PatchFeatureCache",
+    "PatchQuery",
     "PatchRecord",
+    "QueryError",
     "RoundResult",
     "SOURCES",
     "SearchSet",

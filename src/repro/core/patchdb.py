@@ -10,6 +10,7 @@ human-diffable, like the real release.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -17,8 +18,9 @@ from typing import Iterable, Iterator
 from ..errors import ReproError
 from ..patch.gitformat import parse_patch, render_mbox_patch
 from ..patch.model import Patch
+from .query import PatchQuery
 
-__all__ = ["PatchRecord", "PatchDB", "SOURCES"]
+__all__ = ["PatchRecord", "PatchDB", "PatchQuery", "SOURCES"]
 
 #: Valid provenance tags.
 SOURCES = ("nvd", "wild", "synthetic")
@@ -98,22 +100,61 @@ class PatchDB:
     def __iter__(self) -> Iterator[PatchRecord]:
         return iter(self._records)
 
-    def records(
-        self, source: str | None = None, is_security: bool | None = None
-    ) -> list[PatchRecord]:
-        """Filtered records."""
+    @staticmethod
+    def _coerce_query(
+        query: PatchQuery | str | None,
+        is_security: bool | None,
+        source: str | None,
+        method: str,
+    ) -> PatchQuery:
+        """Fold the legacy ``(source, is_security)`` calling convention into
+        a :class:`PatchQuery`, warning once per deprecated call site."""
+        if isinstance(query, PatchQuery):
+            if source is not None or is_security is not None:
+                raise ReproError(
+                    f"PatchDB.{method}: pass either a PatchQuery or the legacy "
+                    "(source, is_security) arguments, not both"
+                )
+            return query
+        if query is not None:  # legacy positional source string
+            source = query
         if source is None and is_security is None:
-            return list(self._records)
-        return [
-            r
-            for r in self._records
-            if (source is None or r.source == source)
-            and (is_security is None or r.is_security == is_security)
-        ]
+            return PatchQuery()
+        warnings.warn(
+            f"PatchDB.{method}(source=..., is_security=...) is deprecated; "
+            f"pass a PatchQuery instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return PatchQuery(source=source, is_security=is_security)
 
-    def patches(self, source: str | None = None, is_security: bool | None = None) -> list[Patch]:
-        """Filtered patches."""
-        return [r.patch for r in self.records(source, is_security)]
+    def records(
+        self,
+        query: PatchQuery | str | None = None,
+        is_security: bool | None = None,
+        *,
+        source: str | None = None,
+    ) -> list[PatchRecord]:
+        """Records matching *query* (filter + pagination), in insertion order.
+
+        The legacy ``records(source, is_security)`` form still works but is
+        deprecated; it routes through the same :class:`PatchQuery` path.
+        """
+        query = self._coerce_query(query, is_security, source, "records")
+        if query == PatchQuery():
+            return list(self._records)
+        return list(query.apply(self._records))
+
+    def patches(
+        self,
+        query: PatchQuery | str | None = None,
+        is_security: bool | None = None,
+        *,
+        source: str | None = None,
+    ) -> list[Patch]:
+        """Patches of the records matching *query*."""
+        query = self._coerce_query(query, is_security, source, "patches")
+        return [r.patch for r in query.apply(self._records)]
 
     def summary(self) -> dict[str, int]:
         """Headline counts matching the paper's abstract numbers.
@@ -178,6 +219,16 @@ class PatchDB:
                 line = line.strip()
                 if line:
                     yield PatchRecord.from_json(line)
+
+    @classmethod
+    def query_jsonl(cls, path: str | Path, query: PatchQuery) -> Iterator[PatchRecord]:
+        """Stream the records of a JSONL file matching *query*.
+
+        Combines :meth:`iter_jsonl` with :meth:`PatchQuery.apply`: constant
+        memory, and the file read stops as soon as the query's ``limit`` is
+        satisfied.
+        """
+        return query.apply(cls.iter_jsonl(path))
 
     @classmethod
     def load_jsonl(cls, path: str | Path) -> "PatchDB":

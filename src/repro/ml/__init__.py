@@ -12,6 +12,7 @@ from .engine import fit_many
 from .forest import RandomForestClassifier
 from .knn import KNeighborsClassifier
 from .logistic import LogisticRegression
+from .model_cache import FittedModelCache, training_key
 from .metrics import (
     ClassificationReport,
     accuracy,
@@ -60,6 +61,7 @@ __all__ = [
     "encode_batch",
     "f1_score",
     "fit_many",
+    "FittedModelCache",
     "patch_token_sequence",
     "precision",
     "proportion_confidence_interval",
@@ -67,6 +69,7 @@ __all__ = [
     "smote_oversample",
     "stratified_kfold",
     "train_test_split",
+    "training_key",
     "weka_ensemble",
 ]
 

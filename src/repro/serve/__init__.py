@@ -1,0 +1,35 @@
+"""PatchDB as a long-running service.
+
+The "millions of users" direction of the ROADMAP: a stdlib
+:class:`~http.server.ThreadingHTTPServer` over a built experiment world
+and its PatchDB, answering dataset queries (through the unified
+:class:`~repro.core.query.PatchQuery` surface), streaming JSONL releases,
+classifying submitted ``.patch`` bodies against a persisted fitted model
+(no per-request training), and exposing its run manifest and obs registry
+over ``/healthz``/``/statsz``.
+
+Layering:
+
+* :mod:`repro.serve.service` — the framework-independent core
+  (:class:`PatchDBService`) plus the classify micro-batcher.
+* :mod:`repro.serve.http` — route translation and the server itself.
+* :mod:`repro.serve.bench` — the load generator behind ``bench-serve``
+  and the CI smoke job (writes ``BENCH_serve.json``).
+"""
+
+from .bench import BenchEndpoint, EndpointResult, default_endpoints, run_load, write_bench
+from .http import PatchDBServer, make_server
+from .service import MODEL_CONFIG, ClassifyBatcher, PatchDBService
+
+__all__ = [
+    "BenchEndpoint",
+    "ClassifyBatcher",
+    "EndpointResult",
+    "MODEL_CONFIG",
+    "PatchDBServer",
+    "PatchDBService",
+    "default_endpoints",
+    "make_server",
+    "run_load",
+    "write_bench",
+]

@@ -1,0 +1,208 @@
+"""Load generator for the serve layer: sustained req/s and p50/p95 latency.
+
+Drives a running server (any URL — in-process or remote) with concurrent
+stdlib ``urllib`` clients, one endpoint at a time, and reports per-endpoint
+sustained request rate and nearest-rank latency quantiles (the same
+estimator :func:`repro.obs.histogram_stats` uses everywhere else).  The CLI
+``bench-serve`` subcommand and the CI ``serve-smoke`` job both run this and
+write the results as ``BENCH_serve.json``; any 5xx (or transport error)
+fails the smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..obs import histogram_stats
+
+__all__ = ["BenchEndpoint", "EndpointResult", "default_endpoints", "run_load", "write_bench"]
+
+
+@dataclass(frozen=True, slots=True)
+class BenchEndpoint:
+    """One endpoint under load.
+
+    Attributes:
+        name: result key (``query``, ``classify``, …).
+        path: URL path + query string, joined to the base URL.
+        method: HTTP method.
+        body: request body for POST endpoints.
+    """
+
+    name: str
+    path: str
+    method: str = "GET"
+    body: str | None = None
+
+
+@dataclass(slots=True)
+class EndpointResult:
+    """Aggregated outcome of one endpoint's load phase."""
+
+    name: str
+    requests: int = 0
+    errors: int = 0
+    status_counts: dict[str, int] = field(default_factory=dict)
+    duration_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def req_per_s(self) -> float:
+        """Sustained completed-request rate over the phase."""
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def n_5xx(self) -> int:
+        """Server-error responses observed."""
+        return sum(n for code, n in self.status_counts.items() if code.startswith("5"))
+
+    def to_dict(self) -> dict:
+        """JSON-ready row of ``BENCH_serve.json``."""
+        stats = histogram_stats(self.latencies_s)
+        return {
+            "endpoint": self.name,
+            "requests": self.requests,
+            "errors": self.errors,
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "duration_s": round(self.duration_s, 4),
+            "req_per_s": round(self.req_per_s, 2),
+            "latency_ms": {
+                "p50": round(stats.get("p50", 0.0) * 1000, 3),
+                "p95": round(stats.get("p95", 0.0) * 1000, 3),
+                "max": round(stats.get("max", 0.0) * 1000, 3),
+                "mean": round(stats.get("mean", 0.0) * 1000, 3),
+            },
+        }
+
+
+def default_endpoints(classify_body: str | None = None) -> list[BenchEndpoint]:
+    """The standard load mix: paged query, filtered query, JSONL stream,
+    manifest, health, and (when a patch body is supplied) classify."""
+    endpoints = [
+        BenchEndpoint("healthz", "/healthz"),
+        BenchEndpoint("query", "/v1/patches?limit=20"),
+        BenchEndpoint("query_filtered", "/v1/patches?is_security=1&limit=20"),
+        BenchEndpoint("stream", "/v1/patches.jsonl?limit=50"),
+        BenchEndpoint("manifest", "/v1/manifest"),
+    ]
+    if classify_body is not None:
+        endpoints.append(BenchEndpoint("classify", "/v1/classify", "POST", classify_body))
+    return endpoints
+
+
+def sample_patch_text(base_url: str) -> str | None:
+    """A natural record's full patch text, fetched from the server itself
+    (feeds the classify phase of the load mix)."""
+    url = f"{base_url.rstrip('/')}/v1/patches.jsonl?source=nvd&limit=1"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            line = resp.readline().decode("utf-8")
+        return json.loads(line)["patch_text"] if line.strip() else None
+    except Exception:
+        return None
+
+
+def _hit(base_url: str, ep: BenchEndpoint, result: EndpointResult, lock: threading.Lock) -> None:
+    data = ep.body.encode("utf-8") if ep.body is not None else None
+    req = urllib.request.Request(
+        f"{base_url.rstrip('/')}{ep.path}", data=data, method=ep.method
+    )
+    if data is not None:
+        req.add_header("Content-Type", "text/x-patch")
+    start = time.perf_counter()
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            resp.read()
+            status = resp.status
+    except urllib.error.HTTPError as exc:
+        status = exc.code
+    except Exception:
+        status = None
+    elapsed = time.perf_counter() - start
+    with lock:
+        result.requests += 1
+        result.latencies_s.append(elapsed)
+        if status is None:
+            result.errors += 1
+        else:
+            key = str(status)
+            result.status_counts[key] = result.status_counts.get(key, 0) + 1
+
+
+def run_load(
+    base_url: str,
+    endpoints: list[BenchEndpoint] | None = None,
+    duration_s: float = 3.0,
+    concurrency: int = 4,
+) -> list[EndpointResult]:
+    """Drive every endpoint for *duration_s* with *concurrency* threads.
+
+    Endpoints run one after another (not interleaved) so each row's req/s
+    measures that endpoint alone.  Returns one result per endpoint.
+    """
+    if endpoints is None:
+        classify_body = sample_patch_text(base_url)
+        endpoints = default_endpoints(classify_body)
+    results = []
+    for ep in endpoints:
+        result = EndpointResult(name=ep.name)
+        lock = threading.Lock()
+        deadline = time.monotonic() + duration_s
+
+        def worker() -> None:
+            while time.monotonic() < deadline:
+                _hit(base_url, ep, result, lock)
+
+        threads = [threading.Thread(target=worker, daemon=True) for _ in range(concurrency)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        result.duration_s = time.perf_counter() - start
+        results.append(result)
+    return results
+
+
+def write_bench(
+    path: str | Path,
+    results: list[EndpointResult],
+    meta: dict | None = None,
+) -> Path:
+    """Write ``BENCH_serve.json``: one row per endpoint + run metadata."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": "repro-bench-serve-v1",
+        "created_unix": time.time(),
+        "meta": meta or {},
+        "endpoints": [r.to_dict() for r in results],
+        "total_requests": sum(r.requests for r in results),
+        "total_5xx": sum(r.n_5xx for r in results),
+        "total_errors": sum(r.errors for r in results),
+    }
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def render_results(results: list[EndpointResult]) -> str:
+    """Human-readable per-endpoint table for the CLI."""
+    out = [
+        f"{'endpoint':<16s} {'req':>6s} {'req/s':>8s} {'p50 ms':>8s} "
+        f"{'p95 ms':>8s} {'max ms':>8s} {'5xx':>4s} {'err':>4s}"
+    ]
+    for r in results:
+        row = r.to_dict()
+        lat = row["latency_ms"]
+        out.append(
+            f"{r.name:<16s} {r.requests:>6d} {row['req_per_s']:>8.1f} "
+            f"{lat['p50']:>8.2f} {lat['p95']:>8.2f} {lat['max']:>8.2f} "
+            f"{r.n_5xx:>4d} {r.errors:>4d}"
+        )
+    return "\n".join(out)

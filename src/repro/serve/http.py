@@ -1,0 +1,179 @@
+"""The stdlib HTTP layer over :class:`~repro.serve.service.PatchDBService`.
+
+A :class:`ThreadingHTTPServer` (one thread per connection, no new
+dependencies) translating routes to service methods:
+
+====================  ======  ==================================================
+``/healthz``          GET     liveness + model state
+``/statsz``           GET     obs registry summary (timers/counters/histograms)
+``/v1/manifest``      GET     run manifest of the served world
+``/v1/summary``       GET     dataset headline counts
+``/v1/patches``       GET     paginated metadata query (``PatchQuery`` params)
+``/v1/patches.jsonl`` GET     streaming JSONL of full records (same params)
+``/v1/classify``      POST    ``.patch`` body -> features+categorize+lint+model
+====================  ======  ==================================================
+
+Query strings parse into the same :class:`~repro.core.query.PatchQuery`
+the library uses, so HTTP filters cannot drift from the programmatic API;
+parse errors surface as JSON 400s.  The JSONL endpoint writes one record
+per line as it is produced (the connection close delimits the stream), so
+responses of any size run in constant memory at both ends.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import ReproError
+from ..core.query import PatchQuery, QueryError
+from .service import PatchDBService
+
+__all__ = ["PatchDBServer", "make_server"]
+
+#: Largest accepted classify request body (a .patch file), in bytes.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class PatchDBServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`PatchDBService`."""
+
+    daemon_threads = True
+    #: Lets tests and the CLI bind port 0 and restart quickly.
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: PatchDBService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def make_server(
+    service: PatchDBService, host: str = "127.0.0.1", port: int = 0
+) -> PatchDBServer:
+    """Bind a server for *service*; ``port=0`` picks a free port.
+
+    The caller drives ``serve_forever()`` (the CLI does so on the main
+    thread; tests run it on a daemon thread and ``shutdown()`` it).
+    """
+    return PatchDBServer((host, port), service)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+
+    # ---- plumbing ---------------------------------------------------------
+
+    @property
+    def service(self) -> PatchDBService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        """Per-request stderr logging is obs's job, not the socket layer's."""
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _finish(self, endpoint: str, status: int, started: float) -> None:
+        self.service.record_request(endpoint, status, time.perf_counter() - started)
+
+    def _query(self, raw_query: str) -> PatchQuery:
+        params = dict(parse_qsl(raw_query, keep_blank_values=True))
+        include = params.pop("include_patch", "")
+        query = PatchQuery.from_params(params)
+        self._include_patch = include.strip().lower() in ("1", "true", "yes", "on")
+        return query
+
+    # ---- routes -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler protocol
+        started = time.perf_counter()
+        url = urlsplit(self.path)
+        route = url.path.rstrip("/") or "/"
+        endpoint = {
+            "/healthz": "healthz",
+            "/statsz": "statsz",
+            "/v1/manifest": "manifest",
+            "/v1/summary": "summary",
+            "/v1/patches": "query",
+            "/v1/patches.jsonl": "stream",
+        }.get(route)
+        if endpoint is None:
+            self._send_json(404, {"error": f"no such endpoint: {url.path}"})
+            self._finish("unknown", 404, started)
+            return
+        status = 200
+        try:
+            if endpoint == "healthz":
+                self._send_json(200, self.service.healthz())
+            elif endpoint == "statsz":
+                self._send_json(200, self.service.statsz())
+            elif endpoint == "manifest":
+                self._send_json(200, self.service.manifest())
+            elif endpoint == "summary":
+                self._send_json(200, self.service.summary())
+            elif endpoint == "query":
+                query = self._query(url.query)
+                self._send_json(200, self.service.query(query, self._include_patch))
+            else:  # stream
+                query = self._query(url.query)
+                self._stream_jsonl(query)
+        except QueryError as exc:
+            status = 400
+            self._send_json(status, {"error": str(exc)})
+        except BrokenPipeError:
+            status = 499  # client went away mid-stream; nothing to send
+        except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
+            status = 500
+            try:
+                self._send_json(status, {"error": f"{type(exc).__name__}: {exc}"})
+            except Exception:
+                pass
+        self._finish(endpoint, status, started)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler protocol
+        started = time.perf_counter()
+        route = urlsplit(self.path).path.rstrip("/")
+        if route != "/v1/classify":
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            self._finish("unknown", 404, started)
+            return
+        status = 200
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                raise QueryError("classify requires a non-empty .patch request body")
+            if length > MAX_BODY_BYTES:
+                raise QueryError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+            body = self.rfile.read(length).decode("utf-8", errors="replace")
+            self._send_json(200, self.service.classify(body))
+        except QueryError as exc:
+            status = 400
+            self._send_json(status, {"error": str(exc)})
+        except ReproError as exc:
+            # Unparsable patch, un-warmed model: the request is at fault.
+            status = 400
+            self._send_json(status, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
+            status = 500
+            try:
+                self._send_json(status, {"error": f"{type(exc).__name__}: {exc}"})
+            except Exception:
+                pass
+        self._finish("classify", status, started)
+
+    # ---- streaming --------------------------------------------------------
+
+    def _stream_jsonl(self, query: PatchQuery) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        for line in self.service.query_stream(query):
+            self.wfile.write(line.encode("utf-8"))
+        self.wfile.flush()

@@ -1,0 +1,402 @@
+"""The framework-independent service core behind ``python -m repro serve``.
+
+:class:`PatchDBService` owns everything the HTTP layer exposes: a built
+:class:`~repro.analysis.experiments.ExperimentWorld`, the
+:class:`~repro.core.patchdb.PatchDB` it serves, and a persisted
+:class:`~repro.ml.model_cache.FittedModelCache` holding the classify-on-
+demand model.  The HTTP handler in :mod:`repro.serve.http` is a thin
+translation layer over this class, so every endpoint is equally usable as a
+plain method call (tests drive both).
+
+Three design points:
+
+* **One query surface.**  Every record-returning entry point takes a
+  :class:`~repro.core.query.PatchQuery`; the HTTP layer parses query
+  strings into the same object the CLI and library use, so filter
+  semantics cannot drift between access paths.
+* **No per-request training.**  :meth:`warm` fits (or loads) the classify
+  model exactly once, keyed by the sha of the served training set.  With a
+  persisted model cache, a restart against the same dataset loads the
+  pickle and never calls ``fit`` at all.
+* **Micro-batched classification.**  Concurrent classify requests funnel
+  through one :class:`ClassifyBatcher` worker that stacks their feature
+  rows into a single ``predict_proba`` call — the per-row predictions are
+  independent, so batched responses are bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..analysis.experiments import ExperimentWorld
+from ..core.categorize import categorize_patch
+from ..core.patchdb import PatchDB, PatchRecord
+from ..core.query import PatchQuery
+from ..corpus.vulnpatterns import PATTERN_NAMES
+from ..errors import ReproError
+from ..features.extractor import extract_features
+from ..features.vector import FEATURE_NAMES
+from ..ml import RandomForestClassifier
+from ..ml.model_cache import FittedModelCache, training_key
+from ..obs import ObsRegistry
+from ..patch.gitformat import parse_patch
+from ..staticcheck import lint_patch
+
+__all__ = ["ClassifyBatcher", "PatchDBService", "MODEL_CONFIG"]
+
+#: Hyperparameters of the served classifier; part of the model cache key,
+#: so changing them can never serve a stale fit.
+MODEL_CONFIG = {
+    "estimator": "RandomForestClassifier",
+    "n_estimators": 40,
+    "max_depth": 14,
+    "features": "table1-60-contextfree",
+}
+
+
+class ClassifyBatcher:
+    """Micro-batches concurrent single-row predictions into stacked calls.
+
+    Requests land in a queue; one worker thread drains it — first request
+    blocks, then up to ``max_batch - 1`` more are collected for at most
+    ``max_wait_s`` — and resolves every request's future from one
+    ``predict_batch`` call over the stacked rows.  Per-row predictions are
+    independent, so a batched response is bit-identical to the serial one;
+    batching only amortizes the per-call model overhead across concurrent
+    requests (the ``fit_many`` trick, applied to inference).
+
+    Args:
+        predict_batch: ``(N, F) matrix -> (N,) probabilities`` callable.
+        max_batch: largest batch assembled per model call.
+        max_wait_s: how long the worker waits for co-batchable requests
+            after the first one arrives.
+        obs: registry for ``classify_batches`` / ``classify_batched_requests``
+            counters and the per-batch ``classify_batch`` size histogram.
+    """
+
+    def __init__(
+        self,
+        predict_batch: Callable[[np.ndarray], np.ndarray],
+        max_batch: int = 64,
+        max_wait_s: float = 0.002,
+        obs: ObsRegistry | None = None,
+    ) -> None:
+        self._predict = predict_batch
+        self._max_batch = max(1, max_batch)
+        self._max_wait = max(0.0, max_wait_s)
+        self.obs = obs if obs is not None else ObsRegistry()
+        self._queue: queue.Queue = queue.Queue()
+        self._obs_lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._run, name="classify-batcher", daemon=True
+        )
+        self._closed = False
+        self._worker.start()
+
+    def submit(self, row: np.ndarray) -> "Future[float]":
+        """Enqueue one feature row; the future resolves to its probability."""
+        if self._closed:
+            raise ReproError("ClassifyBatcher is closed")
+        future: Future[float] = Future()
+        self._queue.put((row, future))
+        return future
+
+    def close(self) -> None:
+        """Drain outstanding requests and stop the worker."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._worker.join(timeout=10.0)
+
+    # ---- worker -----------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            batch = [item]
+            deadline = time.monotonic() + self._max_wait
+            stop = False
+            while len(batch) < self._max_batch:
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    # One non-blocking sweep so an already-full queue still
+                    # batches even with a zero wait window.
+                    timeout = 0.0
+                try:
+                    nxt = self._queue.get(timeout=timeout) if timeout else self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    stop = True
+                    break
+                batch.append(nxt)
+            self._process(batch)
+            if stop:
+                return
+
+    def _process(self, batch: list[tuple[np.ndarray, "Future[float]"]]) -> None:
+        X = np.vstack([row for row, _ in batch])
+        try:
+            probs = self._predict(X)
+        except Exception as exc:  # propagate the failure to every waiter
+            for _, future in batch:
+                future.set_exception(exc)
+            return
+        for (_, future), p in zip(batch, probs):
+            future.set_result(float(p))
+        with self._obs_lock:
+            self.obs.add("classify_batches")
+            self.obs.add("classify_batched_requests", len(batch))
+            self.obs.observe("classify_batch", float(len(batch)))
+
+
+def _record_meta(record: PatchRecord, include_patch: bool = False) -> dict:
+    """The JSON shape of one record on the query endpoint (metadata-first;
+    the full patch text rides along only on request)."""
+    out = {
+        "sha": record.patch.sha,
+        "repo": record.patch.repo,
+        "source": record.source,
+        "is_security": record.is_security,
+        "pattern_type": record.pattern_type,
+        "cve_id": record.cve_id,
+        "subject": record.patch.subject,
+        "files_changed": len(record.patch.files),
+    }
+    if include_patch:
+        from ..patch.gitformat import render_mbox_patch
+
+        out["patch_text"] = render_mbox_patch(record.patch)
+    return out
+
+
+class PatchDBService:
+    """Query + classify + observability over one built world and dataset.
+
+    Args:
+        ew: the experiment world the dataset was built from (manifest,
+            digest, and obs identity come from here).
+        db: the PatchDB being served.
+        model_cache: persisted fitted-model cache; a fresh in-memory one
+            is created if omitted.
+        obs: registry every endpoint records into; defaults to ``ew.obs``.
+        max_batch: classify micro-batch cap.
+        batch_wait_s: classify co-batching window.
+    """
+
+    def __init__(
+        self,
+        ew: ExperimentWorld,
+        db: PatchDB,
+        model_cache: FittedModelCache | None = None,
+        obs: ObsRegistry | None = None,
+        max_batch: int = 64,
+        batch_wait_s: float = 0.002,
+    ) -> None:
+        self.ew = ew
+        self.db = db
+        self.obs = obs if obs is not None else ew.obs
+        self.models = (
+            model_cache if model_cache is not None else FittedModelCache(obs=self.obs)
+        )
+        self.models.obs = self.obs
+        self._records: list[PatchRecord] = db.records()
+        self._max_batch = max_batch
+        self._batch_wait_s = batch_wait_s
+        self._model: RandomForestClassifier | None = None
+        self._model_key: str | None = None
+        self._model_was_cached: bool | None = None
+        self._batcher: ClassifyBatcher | None = None
+        self._started_unix = time.time()
+        self._lock = threading.Lock()
+
+    # ---- model warm-up ----------------------------------------------------
+
+    def _training_set(self) -> tuple[list[PatchRecord], list[int]]:
+        """The natural (non-synthetic) records and their labels."""
+        natural = [r for r in self._records if r.source != "synthetic"]
+        return natural, [int(r.is_security) for r in natural]
+
+    def warm(self) -> dict:
+        """Fit or load the classify model and start the batch worker.
+
+        The model is keyed by the sha256 of the served training set (sorted
+        ``(sha, label)`` pairs) plus :data:`MODEL_CONFIG`, so a cache hit is
+        guaranteed to be the fit this exact dataset would produce; on a hit
+        no feature extraction or training happens at all.  Returns a
+        warm-up summary for the startup log and the manifest.
+        """
+        natural, labels = self._training_set()
+        if not natural:
+            raise ReproError("cannot warm the classify model: dataset has no natural records")
+        key = training_key([r.patch.sha for r in natural], labels, MODEL_CONFIG)
+        before = len(self.models)
+
+        def fit() -> RandomForestClassifier:
+            X = np.vstack([extract_features(r.patch) for r in natural])
+            y = np.array(labels)
+            model = RandomForestClassifier(
+                n_estimators=MODEL_CONFIG["n_estimators"],
+                max_depth=MODEL_CONFIG["max_depth"],
+                seed=self.ew.seed,
+                obs=self.obs,
+            )
+            model.fit(X, y)
+            return model
+
+        start = time.perf_counter()
+        model = self.models.get_or_fit(key, fit)
+        with self._lock:
+            self._model = model
+            self._model_key = key
+            self._model_was_cached = len(self.models) == before
+            if self._batcher is not None:
+                self._batcher.close()
+            self._batcher = ClassifyBatcher(
+                model.decision_scores,
+                max_batch=self._max_batch,
+                max_wait_s=self._batch_wait_s,
+                obs=self.obs,
+            )
+        return {
+            "model_key": key,
+            "cached": self._model_was_cached,
+            "n_train": len(natural),
+            "warm_s": round(time.perf_counter() - start, 3),
+        }
+
+    @property
+    def model_key(self) -> str | None:
+        """The training-set sha key of the active model (None before warm)."""
+        return self._model_key
+
+    def close(self) -> None:
+        """Stop the classify worker (idempotent)."""
+        with self._lock:
+            if self._batcher is not None:
+                self._batcher.close()
+                self._batcher = None
+
+    # ---- query ------------------------------------------------------------
+
+    def query(self, query: PatchQuery, include_patch: bool = False) -> dict:
+        """The paginated query endpoint: metadata rows + match accounting."""
+        with self.obs.timer("serve.query"):
+            total = sum(1 for r in self._records if query.matches(r))
+            rows = [_record_meta(r, include_patch) for r in query.apply(self._records)]
+        return {
+            "query": query.to_dict(),
+            "total_matching": total,
+            "count": len(rows),
+            "records": rows,
+        }
+
+    def query_stream(self, query: PatchQuery) -> Iterator[str]:
+        """Matching records as JSONL lines (full ``git format-patch`` text).
+
+        The same one-record-at-a-time shape as
+        :meth:`~repro.core.patchdb.PatchDB.write_jsonl`, so arbitrarily
+        large responses stream in constant memory.
+        """
+        for record in query.apply(self._records):
+            yield record.to_json() + "\n"
+
+    # ---- classify ---------------------------------------------------------
+
+    def classify(self, patch_text: str, batched: bool = True) -> dict:
+        """Feature-extract + categorize + lint + model-classify one patch.
+
+        Args:
+            patch_text: a ``git format-patch``/unified-diff body.
+            batched: route the prediction through the micro-batch worker
+                (the HTTP path); ``False`` predicts inline — results are
+                bit-identical, which the parity tests assert.
+
+        Raises:
+            ReproError: unparsable patch (HTTP 400) or un-warmed service.
+        """
+        with self._lock:
+            model, batcher = self._model, self._batcher
+        if model is None:
+            raise ReproError("service is not warmed: no classify model loaded")
+        with self.obs.timer("serve.classify"):
+            patch = parse_patch(patch_text)
+            vec = extract_features(patch)
+            if batched and batcher is not None:
+                prob = batcher.submit(vec).result(timeout=30.0)
+            else:
+                prob = float(model.decision_scores(vec[np.newaxis, :])[0])
+            pattern = categorize_patch(patch)
+            lint = lint_patch(patch, obs=self.obs)
+        findings = lint.findings()
+        return {
+            "sha": patch.sha,
+            "subject": patch.subject,
+            "files_changed": len(patch.files),
+            "is_security": bool(prob >= 0.5),
+            "security_probability": prob,
+            "pattern_type": pattern,
+            "pattern_name": PATTERN_NAMES[pattern],
+            "lint": {
+                "n_findings": len(findings),
+                "by_checker": lint.counts_by_checker(),
+                "findings": [f.render() for f in findings[:25]],
+            },
+            "features": {
+                name: float(v)
+                for name, v in zip(FEATURE_NAMES, vec)
+                if v != 0
+            },
+            "model_key": self._model_key,
+        }
+
+    # ---- observability ----------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness: records served, model state, uptime."""
+        return {
+            "status": "ok",
+            "records": len(self._records),
+            "model_warm": self._model is not None,
+            "uptime_s": round(time.time() - self._started_unix, 3),
+        }
+
+    def summary(self) -> dict:
+        """The dataset's headline counts (the ``stats`` CLI view)."""
+        return {"summary": self.db.summary()}
+
+    def manifest(self) -> dict:
+        """The run manifest of the served world + serving identity."""
+        return self.ew.manifest(
+            command="serve",
+            records=len(self._records),
+            model_key=self._model_key,
+            model_cached=self._model_was_cached,
+        )
+
+    def statsz(self) -> dict:
+        """The obs registry's machine-readable summary + service identity."""
+        payload = self.obs.to_dict()
+        payload["service"] = self.healthz()
+        return payload
+
+    def record_request(self, endpoint: str, status: int, elapsed_s: float) -> None:
+        """Fold one HTTP request into the registry (single writer lock, so
+        concurrent handler threads never lose counts)."""
+        with self._lock:
+            self.obs.add("http_requests")
+            self.obs.add(f"http_{endpoint}")
+            if status >= 500:
+                self.obs.add("http_5xx")
+            elif status >= 400:
+                self.obs.add("http_4xx")
+            self.obs.observe(f"serve.http.{endpoint}", elapsed_s)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import PatchDB, PatchRecord
+from repro.core import PatchDB, PatchQuery, PatchRecord
 from repro.errors import ReproError
 from repro.patch import parse_patch
 
@@ -50,18 +50,45 @@ class TestContainer:
 
     def test_filter_by_source(self, records):
         db = PatchDB(records)
-        assert len(db.records(source="nvd")) == 1
-        assert len(db.records(source="wild")) == 2
-        assert len(db.records(source="synthetic")) == 2
+        assert len(db.records(PatchQuery(source="nvd"))) == 1
+        assert len(db.records(PatchQuery(source="wild"))) == 2
+        assert len(db.records(PatchQuery(source="synthetic"))) == 2
 
     def test_filter_by_label(self, records):
         db = PatchDB(records)
-        assert len(db.records(is_security=True)) == 3
-        assert len(db.records(source="wild", is_security=False)) == 1
+        assert len(db.records(PatchQuery(is_security=True))) == 3
+        assert len(db.records(PatchQuery(source="wild", is_security=False))) == 1
 
     def test_patches_view(self, records):
         db = PatchDB(records)
         assert all(hasattr(p, "sha") for p in db.patches())
+
+
+class TestLegacyShim:
+    """The pre-PatchQuery call shapes still work, with a DeprecationWarning."""
+
+    def test_positional_source_warns_and_filters(self, records):
+        db = PatchDB(records)
+        with pytest.warns(DeprecationWarning):
+            got = db.records("wild")
+        assert got == db.records(PatchQuery(source="wild"))
+
+    def test_keyword_pair_warns_and_filters(self, records):
+        db = PatchDB(records)
+        with pytest.warns(DeprecationWarning):
+            got = db.records(source="wild", is_security=True)
+        assert got == db.records(PatchQuery(source="wild", is_security=True))
+
+    def test_patches_shim_warns(self, records):
+        db = PatchDB(records)
+        with pytest.warns(DeprecationWarning):
+            got = db.patches(source="nvd")
+        assert len(got) == 1
+
+    def test_mixing_query_and_legacy_args_rejected(self, records):
+        db = PatchDB(records)
+        with pytest.raises(ReproError):
+            db.records(PatchQuery(source="nvd"), is_security=True)
 
     def test_summary(self, records):
         summary = PatchDB(records).summary()

@@ -1,0 +1,153 @@
+"""Tests for the unified PatchQuery filter/pagination surface."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import PatchDB, PatchQuery, PatchRecord, QueryError
+from repro.patch import parse_patch
+
+
+from tests.conftest import LISTING_1, LISTING_2
+
+
+@pytest.fixture(scope="module")
+def records():
+    sec = parse_patch(LISTING_1, repo="libredwg/libredwg")
+    non = parse_patch(LISTING_2, repo="systemd/systemd")
+    return [
+        PatchRecord(sec, "nvd", True, pattern_type=1, cve_id="CVE-2019-20912"),
+        PatchRecord(non, "wild", False),
+        PatchRecord(sec, "wild", True, pattern_type=3),
+        PatchRecord(sec, "synthetic", True, pattern_type=1),
+        PatchRecord(non, "synthetic", False),
+    ]
+
+
+class TestPredicates:
+    def test_empty_query_matches_everything(self, records):
+        query = PatchQuery()
+        assert all(query.matches(r) for r in records)
+        assert query.is_unfiltered
+
+    def test_conjunction_of_fields(self, records):
+        query = PatchQuery(source="wild", is_security=True)
+        matched = [r for r in records if query.matches(r)]
+        assert len(matched) == 1
+        assert matched[0].pattern_type == 3
+
+    def test_repo_filter(self, records):
+        assert len(list(PatchQuery(repo="systemd/systemd").apply(records))) == 2
+
+    def test_pattern_type_filter(self, records):
+        assert len(list(PatchQuery(pattern_type=1).apply(records))) == 2
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(QueryError):
+            PatchQuery(source="github")
+
+    def test_negative_pagination_rejected(self):
+        with pytest.raises(QueryError):
+            PatchQuery(limit=-1)
+        with pytest.raises(QueryError):
+            PatchQuery(offset=-1)
+
+
+class TestPagination:
+    def test_offset_and_limit_apply_after_filtering(self, records):
+        security = [r for r in records if r.is_security]
+        query = PatchQuery(is_security=True, offset=1, limit=1)
+        assert list(query.apply(records)) == [security[1]]
+
+    def test_limit_zero_yields_nothing(self, records):
+        assert list(PatchQuery(limit=0).apply(records)) == []
+
+    def test_apply_is_lazy_and_stops_at_limit(self, records):
+        consumed = []
+
+        def source():
+            for r in records:
+                consumed.append(r)
+                yield r
+
+        got = list(PatchQuery(limit=2).apply(source()))
+        assert len(got) == 2
+        assert len(consumed) == 2  # input not drained past the limit
+
+    def test_page_keeps_filters(self, records):
+        base = PatchQuery(is_security=True)
+        paged = base.page(limit=2, offset=1)
+        assert paged.is_security is True
+        assert (paged.limit, paged.offset) == (2, 1)
+
+
+class TestWireFormat:
+    def test_to_dict_omits_unset_fields(self):
+        assert PatchQuery().to_dict() == {}
+        assert PatchQuery(source="nvd").to_dict() == {"source": "nvd"}
+
+    def test_from_params_rejects_unknown_keys(self):
+        with pytest.raises(QueryError, match="unknown query parameter"):
+            PatchQuery.from_params({"sources": "nvd"})
+
+    def test_from_params_rejects_bad_boolean(self):
+        with pytest.raises(QueryError, match="boolean"):
+            PatchQuery.from_params({"is_security": "maybe"})
+
+    def test_from_params_rejects_bad_int(self):
+        with pytest.raises(QueryError, match="integer"):
+            PatchQuery.from_params({"limit": "many"})
+
+    def test_blank_values_are_ignored(self):
+        assert PatchQuery.from_params({"source": "", "limit": " "}) == PatchQuery()
+
+    @pytest.mark.parametrize("raw,expected", [("1", True), ("TRUE", True), ("off", False)])
+    def test_boolean_spellings(self, raw, expected):
+        assert PatchQuery.from_params({"is_security": raw}).is_security is expected
+
+    @given(
+        source=st.sampled_from([None, "nvd", "wild", "synthetic"]),
+        is_security=st.sampled_from([None, True, False]),
+        pattern_type=st.one_of(st.none(), st.integers(min_value=0, max_value=11)),
+        limit=st.one_of(st.none(), st.integers(min_value=0, max_value=500)),
+        offset=st.integers(min_value=0, max_value=500),
+    )
+    def test_query_string_round_trip(self, source, is_security, pattern_type, limit, offset):
+        query = PatchQuery(
+            source=source,
+            is_security=is_security,
+            pattern_type=pattern_type,
+            limit=limit,
+            offset=offset,
+        )
+        # Encode the way a URL query string would: every value as text.
+        params = {
+            name: str(int(v)) if isinstance(v, bool) else str(v)
+            for name, v in query.to_dict().items()
+        }
+        assert PatchQuery.from_params(params) == query
+
+    @given(
+        is_security=st.sampled_from([None, True, False]),
+        limit=st.one_of(st.none(), st.integers(min_value=0, max_value=10)),
+        offset=st.integers(min_value=0, max_value=10),
+    )
+    def test_apply_agrees_with_matches_plus_slicing(self, records, is_security, limit, offset):
+        query = PatchQuery(is_security=is_security, limit=limit, offset=offset)
+        filtered = [r for r in records if query.matches(r)]
+        end = None if limit is None else offset + limit
+        assert list(query.apply(records)) == filtered[offset:end]
+
+
+class TestPatchDBIntegration:
+    def test_records_accepts_query(self, records):
+        db = PatchDB(records)
+        assert len(db.records(PatchQuery(source="wild"))) == 2
+        assert len(db.records(PatchQuery(is_security=True, limit=2))) == 2
+
+    def test_query_jsonl_streams_filtered(self, records, tmp_path):
+        path = tmp_path / "db.jsonl"
+        PatchDB(records).save_jsonl(path)
+        got = list(PatchDB.query_jsonl(path, PatchQuery(source="synthetic")))
+        assert len(got) == 2
+        assert all(r.source == "synthetic" for r in got)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis import build_patchdb
 from repro.analysis.experiments import TINY, ExperimentWorld
-from repro.core import PatchDB
+from repro.core import PatchDB, PatchQuery
 from repro.nvd import NvdCrawler, build_nvd
 
 
@@ -29,24 +29,24 @@ class TestFullPipeline:
         assert summary["synthetic_security"] > 0
 
     def test_wild_records_verified(self, patchdb, pipeline_world):
-        for rec in patchdb.records(source="wild", is_security=True):
+        for rec in patchdb.records(PatchQuery(source="wild", is_security=True)):
             assert pipeline_world.world.label(rec.patch.sha).is_security
 
     def test_nonsecurity_dataset_collected(self, patchdb):
-        assert len(patchdb.records(source="wild", is_security=False)) > 0
+        assert len(patchdb.records(PatchQuery(source="wild", is_security=False))) > 0
 
     def test_nvd_records_carry_cves(self, patchdb):
-        nvd_records = patchdb.records(source="nvd")
+        nvd_records = patchdb.records(PatchQuery(source="nvd"))
         with_cve = [r for r in nvd_records if r.cve_id]
         assert len(with_cve) >= 0.9 * len(nvd_records)
 
     def test_security_patches_categorized(self, patchdb):
-        for rec in patchdb.records(is_security=True):
+        for rec in patchdb.records(PatchQuery(is_security=True)):
             if rec.source != "synthetic":
                 assert rec.pattern_type in range(1, 13)
 
     def test_synthetic_patches_reference_scaffolding(self, patchdb):
-        for rec in patchdb.records(source="synthetic")[:20]:
+        for rec in patchdb.records(PatchQuery(source="synthetic"))[:20]:
             changed = " ".join(rec.patch.added_lines() + rec.patch.removed_lines())
             assert "_SYS_" in changed
 
@@ -59,7 +59,7 @@ class TestFullPipeline:
     def test_silent_patches_present(self, patchdb, pipeline_world):
         """The paper's headline: wild security patches are not in any CVE."""
         world = pipeline_world.world
-        wild_sec = patchdb.records(source="wild", is_security=True)
+        wild_sec = patchdb.records(PatchQuery(source="wild", is_security=True))
         assert all(world.label(r.patch.sha).cve_id is None for r in wild_sec)
 
 

@@ -1,0 +1,34 @@
+"""Shared serve-layer fixtures: one warmed service over the TINY world."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import build_patchdb
+from repro.ml import FittedModelCache
+from repro.serve import PatchDBService
+
+
+@pytest.fixture(scope="session")
+def served(experiment_world):
+    """A warmed :class:`PatchDBService` over the session TINY world."""
+    db = build_patchdb(experiment_world)
+    service = PatchDBService(experiment_world, db, model_cache=FittedModelCache())
+    warm = service.warm()
+    yield service, warm
+    service.close()
+
+
+@pytest.fixture(scope="session")
+def service(served):
+    return served[0]
+
+
+@pytest.fixture(scope="session")
+def patch_text(service):
+    """One natural record rendered back to git format-patch text."""
+    from repro.core import PatchQuery, PatchRecord
+    from repro.patch.gitformat import render_mbox_patch
+
+    line = next(service.query_stream(PatchQuery(source="nvd", limit=1)))
+    return render_mbox_patch(PatchRecord.from_json(line).patch)

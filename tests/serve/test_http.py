@@ -1,0 +1,149 @@
+"""Tests for the HTTP layer: real sockets against the warmed TINY service."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import PatchQuery, PatchRecord
+from repro.serve import make_server
+
+
+@pytest.fixture(scope="session")
+def base_url(service):
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def _get(base_url, path):
+    with urllib.request.urlopen(f"{base_url}{path}", timeout=10) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+def _post(base_url, path, body):
+    req = urllib.request.Request(
+        f"{base_url}{path}", data=body.encode("utf-8"), method="POST"
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+class TestGetEndpoints:
+    @pytest.mark.parametrize("path", ["/healthz", "/statsz", "/v1/manifest", "/v1/summary"])
+    def test_round_trips(self, base_url, path):
+        status, payload = _get(base_url, path)
+        assert status == 200
+        assert isinstance(payload, dict)
+
+    def test_healthz_reports_warm_model(self, base_url):
+        _, payload = _get(base_url, "/healthz")
+        assert payload["status"] == "ok"
+        assert payload["model_warm"] is True
+
+    def test_query_matches_service_side(self, base_url, service):
+        status, payload = _get(base_url, "/v1/patches?is_security=1&limit=5")
+        assert status == 200
+        expected = service.query(PatchQuery(is_security=True, limit=5))
+        assert payload == json.loads(json.dumps(expected))
+
+    def test_pagination_windows_are_disjoint(self, base_url):
+        _, first = _get(base_url, "/v1/patches?limit=3")
+        _, second = _get(base_url, "/v1/patches?limit=3&offset=3")
+        rows = [json.dumps(r, sort_keys=True) for r in first["records"] + second["records"]]
+        assert len(rows) == len(set(rows)) == 6
+
+    def test_include_patch_param(self, base_url):
+        _, payload = _get(base_url, "/v1/patches?limit=1&include_patch=1")
+        assert "diff --git" in payload["records"][0]["patch_text"]
+
+    def test_stream_jsonl_parses_and_respects_limit(self, base_url):
+        url = f"{base_url}/v1/patches.jsonl?source=wild&limit=4"
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            assert resp.headers["Content-Type"] == "application/x-ndjson"
+            lines = [l for l in resp.read().decode("utf-8").splitlines() if l.strip()]
+        assert 0 < len(lines) <= 4
+        for line in lines:
+            assert PatchRecord.from_json(line).source == "wild"
+
+    def test_unknown_route_404(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(base_url, "/v1/nope")
+        assert exc.value.code == 404
+
+    def test_bad_query_param_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(base_url, "/v1/patches?flavour=spicy")
+        assert exc.value.code == 400
+        assert "unknown query parameter" in json.loads(exc.value.read())["error"]
+
+    def test_bad_boolean_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(base_url, "/v1/patches?is_security=maybe")
+        assert exc.value.code == 400
+
+
+class TestClassifyEndpoint:
+    def test_round_trip(self, base_url, patch_text):
+        status, payload = _post(base_url, "/v1/classify", patch_text)
+        assert status == 200
+        assert 0.0 <= payload["security_probability"] <= 1.0
+        assert payload["model_key"]
+
+    def test_matches_inline_service_call(self, base_url, service, patch_text):
+        _, payload = _post(base_url, "/v1/classify", patch_text)
+        inline = service.classify(patch_text, batched=False)
+        assert payload["security_probability"] == inline["security_probability"]
+        assert payload["pattern_type"] == inline["pattern_type"]
+
+    def test_concurrent_posts_bit_identical(self, base_url, service, patch_text):
+        results = []
+        lock = threading.Lock()
+
+        def hit():
+            _, payload = _post(base_url, "/v1/classify", patch_text)
+            with lock:
+                results.append(payload)
+
+        threads = [threading.Thread(target=hit) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 8
+        canonical = json.dumps(results[0], sort_keys=True)
+        assert all(json.dumps(r, sort_keys=True) == canonical for r in results)
+        inline = service.classify(patch_text, batched=False)
+        assert results[0]["security_probability"] == inline["security_probability"]
+
+    def test_empty_body_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(base_url, "/v1/classify", "")
+        assert exc.value.code == 400
+
+    def test_unparsable_body_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(base_url, "/v1/classify", "definitely not a patch")
+        assert exc.value.code == 400
+
+    def test_post_to_unknown_route_404(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(base_url, "/v1/other", "x")
+        assert exc.value.code == 404
+
+
+class TestStatsAccounting:
+    def test_requests_are_counted(self, base_url):
+        _, before = _get(base_url, "/statsz")
+        _get(base_url, "/healthz")
+        _get(base_url, "/healthz")
+        _, after = _get(base_url, "/statsz")
+        gained = after["counters"]["http_healthz"] - before["counters"].get("http_healthz", 0)
+        assert gained >= 2
+        assert after["counters"].get("http_5xx", 0) == before["counters"].get("http_5xx", 0)

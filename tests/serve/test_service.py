@@ -1,0 +1,165 @@
+"""Tests for the framework-independent service core (no sockets)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import PatchQuery
+from repro.errors import ReproError
+from repro.ml import FittedModelCache
+from repro.serve import MODEL_CONFIG, ClassifyBatcher, PatchDBService
+
+
+class TestWarm:
+    def test_cold_fit_then_cache_hit(self, served):
+        service, warm = served
+        assert warm["cached"] is False
+        assert warm["n_train"] > 0
+        assert service.model_key == warm["model_key"]
+        # Re-warming the same dataset must hit the cache, not re-fit.
+        again = service.warm()
+        assert again["cached"] is True
+        assert again["model_key"] == warm["model_key"]
+
+    def test_empty_dataset_rejected(self, experiment_world):
+        from repro.core import PatchDB
+
+        service = PatchDBService(experiment_world, PatchDB())
+        with pytest.raises(ReproError):
+            service.warm()
+
+    def test_classify_before_warm_rejected(self, experiment_world, patch_text):
+        from repro.analysis.experiments import build_patchdb
+
+        service = PatchDBService(experiment_world, build_patchdb(experiment_world))
+        with pytest.raises(ReproError, match="not warmed"):
+            service.classify(patch_text)
+
+
+class TestQuery:
+    def test_counts_and_pagination(self, service):
+        everything = service.query(PatchQuery())
+        assert everything["total_matching"] == len(service.db)
+        page = service.query(PatchQuery(limit=5, offset=2))
+        assert page["count"] == 5
+        assert page["total_matching"] == everything["total_matching"]
+        assert page["records"] == everything["records"][2:7]
+
+    def test_filters_restrict(self, service):
+        sec = service.query(PatchQuery(is_security=True))
+        assert 0 < sec["total_matching"] < len(service.db)
+        assert all(r["is_security"] for r in sec["records"])
+
+    def test_include_patch_adds_text(self, service):
+        row = service.query(PatchQuery(limit=1), include_patch=True)["records"][0]
+        assert "diff --git" in row["patch_text"]
+        bare = service.query(PatchQuery(limit=1))["records"][0]
+        assert "patch_text" not in bare
+
+    def test_stream_parses_back(self, service):
+        from repro.core import PatchRecord
+
+        lines = list(service.query_stream(PatchQuery(source="wild", limit=3)))
+        assert 0 < len(lines) <= 3
+        for line in lines:
+            assert PatchRecord.from_json(line).source == "wild"
+
+
+class TestClassify:
+    def test_shape(self, service, patch_text):
+        result = service.classify(patch_text)
+        assert 0.0 <= result["security_probability"] <= 1.0
+        assert result["is_security"] == (result["security_probability"] >= 0.5)
+        assert result["pattern_name"]
+        assert result["model_key"] == service.model_key
+        assert result["lint"]["n_findings"] >= 0
+        assert result["features"]  # a real patch has nonzero features
+
+    def test_batched_matches_serial_bit_identical(self, service, patch_text):
+        serial = service.classify(patch_text, batched=False)
+        batched = service.classify(patch_text, batched=True)
+        assert serial["security_probability"] == batched["security_probability"]
+        assert serial["is_security"] == batched["is_security"]
+
+    def test_concurrent_classify_is_deterministic(self, service, patch_text):
+        results = []
+        lock = threading.Lock()
+
+        def hit():
+            out = service.classify(patch_text)
+            with lock:
+                results.append(out["security_probability"])
+
+        threads = [threading.Thread(target=hit) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == 1
+        assert results[0] == service.classify(patch_text, batched=False)["security_probability"]
+
+    def test_unparsable_patch_rejected(self, service):
+        with pytest.raises(ReproError):
+            service.classify("this is not a patch")
+
+
+class TestBatcher:
+    def test_batches_concurrent_rows(self):
+        calls = []
+
+        def predict(X):
+            calls.append(X.shape[0])
+            return X[:, 0]
+
+        batcher = ClassifyBatcher(predict, max_batch=16, max_wait_s=0.05)
+        rows = [np.array([float(i), 0.0]) for i in range(10)]
+        futures = [batcher.submit(r) for r in rows]
+        got = [f.result(timeout=5.0) for f in futures]
+        batcher.close()
+        assert got == [float(i) for i in range(10)]
+        assert sum(calls) == 10
+        assert max(calls) > 1  # at least one actual batch formed
+
+    def test_predict_failure_propagates(self):
+        def predict(X):
+            raise RuntimeError("boom")
+
+        batcher = ClassifyBatcher(predict, max_batch=4, max_wait_s=0.0)
+        future = batcher.submit(np.zeros(3))
+        with pytest.raises(RuntimeError, match="boom"):
+            future.result(timeout=5.0)
+        batcher.close()
+
+    def test_submit_after_close_rejected(self):
+        batcher = ClassifyBatcher(lambda X: X[:, 0])
+        batcher.close()
+        with pytest.raises(ReproError):
+            batcher.submit(np.zeros(2))
+
+
+class TestObservability:
+    def test_healthz_and_manifest(self, service):
+        health = service.healthz()
+        assert health["status"] == "ok"
+        assert health["model_warm"] is True
+        assert health["records"] == len(service.db)
+        manifest = service.manifest()
+        assert manifest["command"] == "serve"
+        assert manifest["model_key"] == service.model_key
+
+    def test_statsz_folds_requests(self, service):
+        service.record_request("query", 200, 0.01)
+        service.record_request("query", 503, 0.02)
+        stats = service.statsz()
+        assert stats["counters"]["http_requests"] >= 2
+        assert stats["counters"]["http_5xx"] >= 1
+        assert stats["service"]["status"] == "ok"
+
+    def test_model_cache_key_uses_config(self, service):
+        natural, labels = service._training_set()
+        from repro.ml import training_key
+
+        assert service.model_key == training_key(
+            [r.patch.sha for r in natural], labels, MODEL_CONFIG
+        )

@@ -52,12 +52,61 @@ class TestParser:
             "synthesize",
             "lint",
             "trace",
+            "serve",
+            "bench-serve",
         ],
     )
     def test_subcommands_exist(self, cmd):
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args([cmd, "--help"])
+
+    @pytest.mark.parametrize("cmd", ["build", "augment", "evaluate", "lint", "serve"])
+    def test_world_flags_shared_across_subcommands(self, cmd):
+        """Every world-building subcommand accepts the shared parent flags."""
+        argv = [cmd, "--scale", "tiny", "--seed", "7", "--workers", "2"]
+        if cmd == "build":
+            argv.append("out.jsonl")
+        args = build_parser().parse_args(argv)
+        assert (args.scale, args.seed, args.workers) == ("tiny", 7, 2)
+        assert hasattr(args, "world_cache")
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--model-cache", "m.pkl", "--max-batch", "8"]
+        )
+        assert args.port == 0
+        assert args.model_cache == "m.pkl"
+        assert args.max_batch == 8
+
+    def test_bench_serve_flags(self):
+        args = build_parser().parse_args(["bench-serve", "--duration", "0.5"])
+        assert args.duration == 0.5
+        assert args.output == "BENCH_serve.json"
+
+
+class TestMissingFileErrors:
+    """A bad path exits 2 with a clean error, not a traceback (no raw OSError)."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["features", "/no/such/file.patch"],
+            ["categorize", "/no/such/file.patch"],
+            ["lint", "/no/such/file.c"],
+        ],
+    )
+    def test_clean_error_and_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read")
+        assert "Traceback" not in err
+
+    def test_synthesize_missing_input(self, tmp_path, capsys):
+        before = tmp_path / "b.c"
+        before.write_text(BEFORE_C)
+        assert main(["synthesize", str(before), str(tmp_path / "missing.c")]) == 2
+        assert "cannot read" in capsys.readouterr().err
 
 
 class TestCategorize:
@@ -236,6 +285,40 @@ class TestAugmentAndTrace:
     def test_trace_rejects_missing_file(self, tmp_path, capsys):
         assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
         capsys.readouterr()
+
+
+class TestBenchServe:
+    def test_in_process_bench_writes_results(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_serve.json"
+        code = main(
+            [
+                "bench-serve",
+                "--scale",
+                "tiny",
+                "--duration",
+                "0.2",
+                "--concurrency",
+                "2",
+                "--model-cache",
+                str(tmp_path / "models.pkl"),
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0  # zero 5xx, zero transport errors
+        captured = capsys.readouterr()
+        assert "req/s" in captured.out
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro-bench-serve-v1"
+        assert payload["total_requests"] > 0
+        assert payload["total_5xx"] == 0
+        names = {row["endpoint"] for row in payload["endpoints"]}
+        assert {"healthz", "query", "stream", "classify"} <= names
+        for row in payload["endpoints"]:
+            assert row["latency_ms"]["p50"] <= row["latency_ms"]["p95"]
+        assert (tmp_path / "models.pkl").exists()  # cold fit was persisted
 
 
 DIRTY_C = "void f(void) {\n    strcpy(dst, src);\n    int _SYS_left = 0;\n}\n"
