@@ -45,6 +45,7 @@ from ..ml import (
     patch_token_sequence,
     train_test_split,
 )
+from ..ml.model_cache import FittedModelCache, training_key
 from ..nvd.crawler import CrawlResult, NvdCrawler
 from ..nvd.database import NvdConfig, NvdDatabase, build_nvd
 from ..obs import ObsRegistry
@@ -434,6 +435,34 @@ def _sequences(ew: ExperimentWorld, shas: list[str], engine: bool = False) -> li
     return [patch_token_sequence(ew.world.patch_for(s)) for s in shas]
 
 
+def _fit_through_cache(
+    fits: list[tuple],
+    keys: list[str],
+    model_cache: FittedModelCache | None,
+    workers: int | None,
+    obs: ObsRegistry,
+) -> list:
+    """:func:`fit_many` with an optional persisted fit cache in front.
+
+    Every fit in the Table IV/VI suite is a pure function of its labeled
+    training shas and estimator configuration — exactly what
+    :func:`~repro.ml.model_cache.training_key` hashes — so cached entries
+    are returned as-is and only the misses are fitted (serially or in the
+    process pool).  Re-evaluating with an unchanged training set therefore
+    performs zero training, no matter how the test set changed.
+    """
+    if model_cache is None:
+        return fit_many(fits, workers=workers, obs=obs)
+    fitted = [model_cache.get(key) for key in keys]
+    misses = [i for i, model in enumerate(fitted) if model is None]
+    if misses:
+        fresh = fit_many([fits[i] for i in misses], workers=workers, obs=obs)
+        for i, model in zip(misses, fresh):
+            model_cache.put(keys[i], model)
+            fitted[i] = model
+    return fitted
+
+
 @dataclass(slots=True)
 class _Table4Fit:
     """One of Table IV's independent RNN fits, staged for :func:`fit_many`."""
@@ -445,6 +474,22 @@ class _Table4Fit:
     y_train: np.ndarray
     test_seqs: list[list[str]]
     y_test: np.ndarray
+    key: str = ""  # training-set sha key for the fitted-model cache
+
+
+def _rnn_key(shas: list[str], labels: np.ndarray, epochs: int, seed: int) -> str:
+    """Cache key of one staged RNN fit (see :func:`_fit_through_cache`)."""
+    return training_key(
+        shas,
+        labels,
+        {
+            "estimator": "RNNClassifier",
+            "epochs": epochs,
+            "batch_size": 32,
+            "seed": seed,
+            "features": "token-seq",
+        },
+    )
 
 
 def run_table4(
@@ -453,6 +498,7 @@ def run_table4(
     max_per_patch: int = 3,
     n_seeds: int = 4,
     ml_workers: int | None = None,
+    model_cache: FittedModelCache | None = None,
 ) -> Table4Result:
     """Security patch identification with and without synthetic data (Table IV).
 
@@ -466,12 +512,17 @@ def run_table4(
     ``ew.ml_workers``) they run through :func:`repro.ml.fit_many` with
     token sequences served from ``ew.tokens`` and per-origin synthesis
     memoized — same rows as the serial path, bit for bit.
+
+    With *model_cache* set, each fit is first looked up by its
+    training-set sha key (:func:`training_key` over the labeled training
+    shas + estimator config); re-running with an unchanged training set
+    re-fits nothing.
     """
     ml_workers = ml_workers if ml_workers is not None else ew.ml_workers
     with ew.obs.span(
         "experiment.table4", seed=seed, n_seeds=n_seeds, ml_workers=ml_workers
     ):
-        return _run_table4(ew, seed, max_per_patch, n_seeds, ml_workers)
+        return _run_table4(ew, seed, max_per_patch, n_seeds, ml_workers, model_cache)
 
 
 def _run_table4(
@@ -480,6 +531,7 @@ def _run_table4(
     max_per_patch: int,
     n_seeds: int,
     ml_workers: int | None,
+    model_cache: FittedModelCache | None = None,
 ) -> Table4Result:
     engine = ml_workers is not None
     epochs = ew.scale.rnn_epochs
@@ -527,35 +579,44 @@ def _run_table4(
                     y_train,
                     test_seqs,
                     y_test,
+                    key=_rnn_key([s for s, _ in train_shas], y_train, eff_epochs, split_seed),
                 )
             )
 
             # Synthesize from the *training* shas only (as the paper stresses).
+            syn_shas: list[str] = []
             syn_seqs: list[list[str]] = []
             syn_labels: list[int] = []
             for s, lab in train_shas:
                 for sp in synth.synthesize(s):
+                    syn_shas.append(sp.patch.sha)
                     syn_seqs.append(syn_sequence(sp.patch))
                     syn_labels.append(lab)
             synth_totals[d_idx][0] += sum(1 for lab in syn_labels if lab == 1)
             synth_totals[d_idx][1] += sum(1 for lab in syn_labels if lab == 0)
+            y_syn = np.concatenate([y_train, np.array(syn_labels, dtype=y_train.dtype)])
             fits.append(
                 _Table4Fit(
                     d_idx,
                     "syn",
                     RNNClassifier(epochs=eff_epochs, batch_size=32, seed=split_seed),
                     train_seqs + syn_seqs,
-                    np.concatenate([y_train, np.array(syn_labels, dtype=y_train.dtype)]),
+                    y_syn,
                     test_seqs,
                     y_test,
+                    key=_rnn_key(
+                        [s for s, _ in train_shas] + syn_shas, y_syn, eff_epochs, split_seed
+                    ),
                 )
             )
 
     # ---- fit (serially or in a process pool), then evaluate ----------------
-    fitted = fit_many(
+    fitted = _fit_through_cache(
         [(f.rnn, f.train_seqs, f.y_train) for f in fits],
-        workers=ml_workers,
-        obs=ew.obs,
+        [f.key for f in fits],
+        model_cache,
+        ml_workers,
+        ew.obs,
     )
     metrics = [{"nat": np.zeros(2), "syn": np.zeros(2)} for _ in datasets]
     for f, rnn in zip(fits, fitted):
@@ -672,7 +733,10 @@ class Table6Result:
 
 
 def run_table6(
-    ew: ExperimentWorld, seed: int = 0, ml_workers: int | None = None
+    ew: ExperimentWorld,
+    seed: int = 0,
+    ml_workers: int | None = None,
+    model_cache: FittedModelCache | None = None,
 ) -> Table6Result:
     """Train RF/RNN on NVD vs NVD+wild; test on NVD and wild (Table VI).
 
@@ -680,13 +744,21 @@ def run_table6(
     *ml_workers* set (or inherited from ``ew.ml_workers``) they run
     concurrently through :func:`repro.ml.fit_many` with token sequences
     served from ``ew.tokens`` — rows are bit-identical to the serial path.
+    With *model_cache* set, fits whose training-set sha key is already
+    cached are served from the cache (re-evaluation with an unchanged
+    training set never re-fits).
     """
     ml_workers = ml_workers if ml_workers is not None else ew.ml_workers
     with ew.obs.span("experiment.table6", seed=seed, ml_workers=ml_workers):
-        return _run_table6(ew, seed, ml_workers)
+        return _run_table6(ew, seed, ml_workers, model_cache)
 
 
-def _run_table6(ew: ExperimentWorld, seed: int, ml_workers: int | None) -> Table6Result:
+def _run_table6(
+    ew: ExperimentWorld,
+    seed: int,
+    ml_workers: int | None,
+    model_cache: FittedModelCache | None = None,
+) -> Table6Result:
     engine = ml_workers is not None
     epochs = ew.scale.rnn_epochs
     nvd_sec = ew.nvd_seed_shas
@@ -709,14 +781,31 @@ def _run_table6(ew: ExperimentWorld, seed: int, ml_workers: int | None) -> Table
 
     # Stage the four independent fits: (RF, RNN) per train set.
     fits = []
+    keys = []
     for train_name, train in train_sets.items():
-        X_feat = ew.cache.matrix([s for s, _ in train])
+        train_shas = [s for s, _ in train]
+        X_feat = ew.cache.matrix(train_shas)
         y_train = np.array([lab for _, lab in train])
         rf = RandomForestClassifier(n_estimators=40, max_depth=14, seed=seed, obs=ew.obs)
-        rnn = RNNClassifier(epochs=_effective_epochs(epochs, len(train)), batch_size=32, seed=seed)
+        eff_epochs = _effective_epochs(epochs, len(train))
+        rnn = RNNClassifier(epochs=eff_epochs, batch_size=32, seed=seed)
         fits.append((rf, X_feat, y_train))
-        fits.append((rnn, _sequences(ew, [s for s, _ in train], engine), y_train))
-    fitted = fit_many(fits, workers=ml_workers, obs=ew.obs)
+        keys.append(
+            training_key(
+                train_shas,
+                y_train,
+                {
+                    "estimator": "RandomForestClassifier",
+                    "n_estimators": 40,
+                    "max_depth": 14,
+                    "seed": seed,
+                    "features": "table1-60",
+                },
+            )
+        )
+        fits.append((rnn, _sequences(ew, train_shas, engine), y_train))
+        keys.append(_rnn_key(train_shas, y_train, eff_epochs, seed))
+    fitted = _fit_through_cache(fits, keys, model_cache, ml_workers, ew.obs)
 
     result = Table6Result()
     for i, train_name in enumerate(train_sets):

@@ -173,16 +173,24 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             token_cache=args.token_cache,
             ml_workers=args.ml_workers,
         )
+        models = None
+        if args.model_cache:
+            from .ml.model_cache import FittedModelCache
+
+            models = FittedModelCache(persist_path=args.model_cache, obs=obs)
         if "3" in tables:
             print("Table III — augmentation methods")
             for row in run_table3(ew):
                 print(row.row())
         if "4" in tables:
             print("\nTable IV — synthetic patches")
-            print(run_table4(ew).table())
+            print(run_table4(ew, model_cache=models).table())
         if "6" in tables:
             print("\nTable VI — cross-source generalization")
-            print(run_table6(ew).table())
+            print(run_table6(ew, model_cache=models).table())
+    if args.model_cache and models is not None:
+        models.save()
+        print(f"persisted {len(models)} fitted models to {args.model_cache}", file=sys.stderr)
     if args.feature_cache:
         path = ew.cache.save(args.feature_cache)
         print(f"persisted {len(ew.cache)} feature vectors to {path}", file=sys.stderr)
@@ -506,7 +514,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     import threading
 
     from .serve import make_server
-    from .serve.bench import render_results, run_load, write_bench
+    from .serve.bench import render_results, run_load, selective_endpoints, write_bench
 
     start = time.perf_counter()
     obs = ObsRegistry()
@@ -519,9 +527,21 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             server = make_server(service, "127.0.0.1", 0)
         threading.Thread(target=server.serve_forever, daemon=True).start()
         base = f"http://127.0.0.1:{server.server_address[1]}"
-    print(f"load-testing {base} ({args.duration}s x {args.concurrency} clients per endpoint)", file=sys.stderr)
+    print(
+        f"load-testing {base} ({args.mix} mix, {args.duration}s x "
+        f"{args.concurrency} clients per endpoint)",
+        file=sys.stderr,
+    )
     try:
-        results = run_load(base, duration_s=args.duration, concurrency=args.concurrency)
+        endpoints = None
+        if args.mix == "selective":
+            endpoints = selective_endpoints(base)
+            if not endpoints:
+                print("FAIL: could not sample a record for the selective mix", file=sys.stderr)
+                return 1
+        results = run_load(
+            base, endpoints=endpoints, duration_s=args.duration, concurrency=args.concurrency
+        )
     finally:
         if server is not None:
             server.shutdown()
@@ -533,6 +553,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         "url": base,
         "duration_s": args.duration,
         "concurrency": args.concurrency,
+        "mix": args.mix,
         "in_process": server is not None,
     }
     if service is not None:
@@ -689,6 +710,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PKL",
         help="persist/reuse RNN token sequences at this pickle path",
     )
+    p_eval.add_argument(
+        "--model-cache",
+        default=None,
+        metavar="PKL",
+        help="persist/reuse Table IV/VI fitted models at this pickle path; "
+        "re-evaluating with unchanged training sets re-fits nothing",
+    )
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_stats = sub.add_parser("stats", help="summarize a PatchDB JSONL")
@@ -769,6 +797,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--concurrency", type=int, default=4, help="client threads per endpoint"
+    )
+    p_bench.add_argument(
+        "--mix",
+        choices=("default", "selective"),
+        default="default",
+        help="endpoint mix: the standard paged/streamed load, or high-"
+        "selectivity filters (repo/sha/pattern_type/cve_id) served by the index",
     )
     p_bench.add_argument(
         "--output", default="BENCH_serve.json", metavar="JSON", help="results path"

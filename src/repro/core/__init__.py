@@ -16,6 +16,7 @@ from .baselines import (
 )
 from .cache import PatchFeatureCache, TokenSequenceCache
 from .categorize import categorize_many, categorize_patch
+from .index import PatchIndex, RecordRenderCache
 from .nearest_link import NearestLinkResult, exact_assignment, link_distances, nearest_link_search
 from .oracle import VerificationOracle, VerificationStats
 from .patchdb import SOURCES, PatchDB, PatchRecord
@@ -28,9 +29,11 @@ __all__ = [
     "NearestLinkResult",
     "PatchDB",
     "PatchFeatureCache",
+    "PatchIndex",
     "PatchQuery",
     "PatchRecord",
     "QueryError",
+    "RecordRenderCache",
     "RoundResult",
     "SOURCES",
     "SearchSet",

@@ -5,6 +5,17 @@ synthetic — for both security and non-security patches, with per-record
 provenance.  Records serialize to JSON lines with the patch embedded as
 ``git format-patch`` text, so a saved PatchDB is both machine-readable and
 human-diffable, like the real release.
+
+Query routing: every :meth:`PatchDB.records`/:meth:`PatchDB.count` call
+goes through the :class:`~repro.core.index.PatchIndex` kept incrementally
+up to date by :meth:`add`/:meth:`extend` — a predicate query costs
+O(smallest posting list), a pure-pagination query is a direct list slice,
+and both return exactly what a full scan through
+:meth:`PatchQuery.apply <repro.core.query.PatchQuery.apply>` would (same
+records, same order; property-tested).  Queries the index cannot plan
+fall back to the scan path.  Records are append-only through
+:meth:`add`/:meth:`extend`; mutating ``_records`` directly would desync
+the index.
 """
 
 from __future__ import annotations
@@ -16,8 +27,10 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from ..errors import ReproError
+from ..obs import ObsRegistry
 from ..patch.gitformat import parse_patch, render_mbox_patch
 from ..patch.model import Patch
+from .index import PatchIndex, RecordRenderCache
 from .query import PatchQuery
 
 __all__ = ["PatchRecord", "PatchDB", "PatchQuery", "SOURCES"]
@@ -48,8 +61,16 @@ class PatchRecord:
         if self.source not in SOURCES:
             raise ReproError(f"unknown source {self.source!r}")
 
-    def to_json(self) -> str:
-        """Serialize to one JSON line."""
+    def to_json(self, patch_text: str | None = None) -> str:
+        """Serialize to one JSON line.
+
+        Args:
+            patch_text: the record's already-rendered mbox text, when the
+                caller has it (the render cache passes its memo here so a
+                cached line is byte-identical to an uncached one).
+        """
+        if patch_text is None:
+            patch_text = render_mbox_patch(self.patch)
         return json.dumps(
             {
                 "sha": self.patch.sha,
@@ -58,7 +79,7 @@ class PatchRecord:
                 "is_security": self.is_security,
                 "pattern_type": self.pattern_type,
                 "cve_id": self.cve_id,
-                "patch_text": render_mbox_patch(self.patch),
+                "patch_text": patch_text,
             }
         )
 
@@ -77,20 +98,46 @@ class PatchRecord:
 
 
 class PatchDB:
-    """The dataset: an ordered collection of :class:`PatchRecord`."""
+    """The dataset: an ordered collection of :class:`PatchRecord`.
 
-    def __init__(self, records: Iterable[PatchRecord] = ()) -> None:
+    Args:
+        records: initial records.
+        obs: observability registry for the ``index.hit`` /
+            ``index.fallback`` / ``render_cache.hit|miss`` counters;
+            ``None`` skips counting (the serve layer rebinds its own via
+            :meth:`rebind_obs`).
+    """
+
+    def __init__(
+        self, records: Iterable[PatchRecord] = (), obs: ObsRegistry | None = None
+    ) -> None:
         self._records: list[PatchRecord] = list(records)
+        self.obs = obs
+        self._index = PatchIndex(self._records)
+        self._renders = RecordRenderCache(obs=obs)
+
+    # ---- observability -----------------------------------------------------
+
+    def rebind_obs(self, obs: ObsRegistry | None) -> None:
+        """Point index/render-cache counters at *obs* (the serve layer's)."""
+        self.obs = obs
+        self._renders.obs = obs
+
+    def _obs_add(self, name: str) -> None:
+        if self.obs is not None:
+            self.obs.add(name)
 
     # ---- mutation -----------------------------------------------------
 
     def add(self, record: PatchRecord) -> None:
-        """Append one record."""
+        """Append one record (the index updates incrementally)."""
         self._records.append(record)
+        self._index.add(record)
 
     def extend(self, records: Iterable[PatchRecord]) -> None:
         """Append many records."""
-        self._records.extend(records)
+        for record in records:
+            self.add(record)
 
     # ---- views --------------------------------------------------------
 
@@ -128,6 +175,25 @@ class PatchDB:
         )
         return PatchQuery(source=source, is_security=is_security)
 
+    def _page(self, query: PatchQuery) -> list[PatchRecord]:
+        """The records *query* selects, served from the cheapest path.
+
+        Pure-pagination queries slice ``_records`` directly (O(page));
+        predicate queries go through the posting-list planner (O(smallest
+        posting list)); unplannable queries scan.  All three produce the
+        same records in the same order.
+        """
+        end = None if query.limit is None else query.offset + query.limit
+        if query.is_unfiltered:
+            self._obs_add("index.hit")
+            return self._records[query.offset : end]
+        ids = self._index.lookup(query)
+        if ids is None:
+            self._obs_add("index.fallback")
+            return list(query.apply(self._records))
+        self._obs_add("index.hit")
+        return [self._records[int(i)] for i in ids[query.offset : end]]
+
     def records(
         self,
         query: PatchQuery | str | None = None,
@@ -141,9 +207,22 @@ class PatchDB:
         deprecated; it routes through the same :class:`PatchQuery` path.
         """
         query = self._coerce_query(query, is_security, source, "records")
-        if query == PatchQuery():
-            return list(self._records)
-        return list(query.apply(self._records))
+        return self._page(query)
+
+    def count(self, query: PatchQuery) -> int:
+        """How many records match *query*'s predicates (pagination ignored).
+
+        O(smallest posting list) on indexable queries — the planner's
+        intersection is counted, never materialized into records.
+        """
+        if query.is_unfiltered:
+            return len(self._records)
+        ids = self._index.lookup(query)
+        if ids is None:
+            self._obs_add("index.fallback")
+            return sum(1 for r in self._records if query.matches(r))
+        self._obs_add("index.hit")
+        return len(ids)
 
     def patches(
         self,
@@ -154,7 +233,7 @@ class PatchDB:
     ) -> list[Patch]:
         """Patches of the records matching *query*."""
         query = self._coerce_query(query, is_security, source, "patches")
-        return [r.patch for r in query.apply(self._records)]
+        return [r.patch for r in self._page(query)]
 
     def summary(self) -> dict[str, int]:
         """Headline counts matching the paper's abstract numbers.
@@ -182,28 +261,45 @@ class PatchDB:
                     counts["synthetic_non_security"] += 1
         return counts
 
+    # ---- serialization ----------------------------------------------------
+
+    def record_json(self, record: PatchRecord) -> str:
+        """*record* as a JSONL line, memoized in the render cache."""
+        return self._renders.json_line(record)
+
+    def record_mbox(self, record: PatchRecord) -> str:
+        """*record*'s ``git format-patch`` text, memoized in the render cache."""
+        return self._renders.mbox(record)
+
     # ---- persistence -----------------------------------------------------
 
     @staticmethod
-    def write_jsonl(records: Iterable[PatchRecord], path: str | Path) -> int:
+    def write_jsonl(
+        records: Iterable[PatchRecord],
+        path: str | Path,
+        renders: RecordRenderCache | None = None,
+    ) -> int:
         """Stream any iterable of records to a JSONL file.
 
         Records are written one at a time, so a generator producing patches
         on the fly (e.g. the synthesizer) never materializes the whole
-        dataset in memory.  Returns the number of records written.
+        dataset in memory.  Passing a :class:`RecordRenderCache` serves
+        (and fills) per-record memoized lines — byte-identical to the
+        uncached path.  Returns the number of records written.
         """
         path = Path(path)
         n = 0
         with path.open("w", encoding="utf-8") as fh:
             for record in records:
-                fh.write(record.to_json())
+                fh.write(renders.json_line(record) if renders is not None else record.to_json())
                 fh.write("\n")
                 n += 1
         return n
 
     def save_jsonl(self, path: str | Path) -> None:
-        """Write all records to a JSONL file."""
-        self.write_jsonl(self._records, path)
+        """Write all records to a JSONL file (through the render cache, so
+        a re-export of an already-served dataset renders nothing twice)."""
+        self.write_jsonl(self._records, path, renders=self._renders)
 
     @classmethod
     def iter_jsonl(cls, path: str | Path) -> Iterator[PatchRecord]:

@@ -47,6 +47,9 @@ class PatchQuery:
         is_security: label filter.
         pattern_type: Table V pattern-type filter (security patches).
         repo: ``owner/repo`` slug filter.
+        sha: exact commit-id filter (a point lookup, served by the
+            index's hash map — ``/v1/patches?sha=...`` never scans).
+        cve_id: exact CVE filter (NVD-based records carry one).
         limit: maximum records returned (``None`` = unbounded).
         offset: filtered records skipped before the first returned one.
     """
@@ -55,6 +58,8 @@ class PatchQuery:
     is_security: bool | None = None
     pattern_type: int | None = None
     repo: str | None = None
+    sha: str | None = None
+    cve_id: str | None = None
     limit: int | None = None
     offset: int = 0
 
@@ -65,6 +70,10 @@ class PatchQuery:
             raise QueryError(
                 f"unknown source {self.source!r} (choose from {', '.join(SOURCES)})"
             )
+        for name in ("sha", "cve_id"):
+            value = getattr(self, name)
+            if value is not None and (not value or value != value.strip()):
+                raise QueryError(f"{name} must be a non-blank string, got {value!r}")
         if self.limit is not None and self.limit < 0:
             raise QueryError(f"limit must be >= 0, got {self.limit}")
         if self.offset < 0:
@@ -81,6 +90,10 @@ class PatchQuery:
         if self.pattern_type is not None and record.pattern_type != self.pattern_type:
             return False
         if self.repo is not None and record.patch.repo != self.repo:
+            return False
+        if self.sha is not None and record.patch.sha != self.sha:
+            return False
+        if self.cve_id is not None and record.cve_id != self.cve_id:
             return False
         return True
 
@@ -117,6 +130,8 @@ class PatchQuery:
             and self.is_security is None
             and self.pattern_type is None
             and self.repo is None
+            and self.sha is None
+            and self.cve_id is None
         )
 
     def page(self, limit: int | None, offset: int = 0) -> "PatchQuery":
@@ -156,7 +171,7 @@ class PatchQuery:
             raw = raw.strip()
             if raw == "":
                 continue
-            if name in ("source", "repo"):
+            if name in ("source", "repo", "sha", "cve_id"):
                 kwargs[name] = raw
             elif name == "is_security":
                 lowered = raw.lower()

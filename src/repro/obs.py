@@ -54,7 +54,11 @@ Counter names in use: ``world_commits_attempted``,
 ``fits_parallel``, ``rf_trees_serial``, ``rf_trees_parallel``,
 ``files_linted``, ``lint_findings``, ``lint_<checker>`` (one per checker
 id, dashes as underscores), ``variant_equiv_checks``,
-``variant_equiv_failures``, ``delta_vectors``, ``delta_blob_cache_hits``.
+``variant_equiv_failures``, ``delta_vectors``, ``delta_blob_cache_hits``,
+``index.hit``, ``index.fallback`` (PatchDB queries served by the
+posting-list planner vs. the scan path), ``render_cache.hit``,
+``render_cache.miss`` (memoized record serializations),
+``model_cache_hits``, ``model_cache_misses``, ``models_loaded``.
 """
 
 from __future__ import annotations

@@ -17,7 +17,14 @@ Layering:
   and the CI smoke job (writes ``BENCH_serve.json``).
 """
 
-from .bench import BenchEndpoint, EndpointResult, default_endpoints, run_load, write_bench
+from .bench import (
+    BenchEndpoint,
+    EndpointResult,
+    default_endpoints,
+    run_load,
+    selective_endpoints,
+    write_bench,
+)
 from .http import PatchDBServer, make_server
 from .service import MODEL_CONFIG, ClassifyBatcher, PatchDBService
 
@@ -31,5 +38,6 @@ __all__ = [
     "default_endpoints",
     "make_server",
     "run_load",
+    "selective_endpoints",
     "write_bench",
 ]

@@ -15,13 +15,21 @@ import json
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..obs import histogram_stats
 
-__all__ = ["BenchEndpoint", "EndpointResult", "default_endpoints", "run_load", "write_bench"]
+__all__ = [
+    "BenchEndpoint",
+    "EndpointResult",
+    "default_endpoints",
+    "selective_endpoints",
+    "run_load",
+    "write_bench",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,6 +101,41 @@ def default_endpoints(classify_body: str | None = None) -> list[BenchEndpoint]:
     ]
     if classify_body is not None:
         endpoints.append(BenchEndpoint("classify", "/v1/classify", "POST", classify_body))
+    return endpoints
+
+
+def selective_endpoints(base_url: str) -> list[BenchEndpoint]:
+    """The selective-filter load mix: queries the posting-list index serves.
+
+    Samples one real record from the running server and builds the
+    high-selectivity phases around its field values — a ``repo`` slug
+    query, a ``sha`` point lookup, a ``pattern_type`` filter, a ``cve_id``
+    point lookup (when the record carries one), and a selective JSONL
+    stream.  Every phase would be a full scan without the index; with it,
+    each request costs O(smallest posting list).  Returns ``[]`` when no
+    record could be sampled (empty dataset or unreachable server).
+    """
+    url = f"{base_url.rstrip('/')}/v1/patches.jsonl?limit=1"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            line = resp.readline().decode("utf-8")
+        record = json.loads(line) if line.strip() else None
+    except Exception:
+        return []
+    if not record:
+        return []
+    repo_q = urllib.parse.quote(record.get("repo") or "", safe="")
+    sha_q = urllib.parse.quote(record.get("sha") or "", safe="")
+    endpoints = [
+        BenchEndpoint("query_repo", f"/v1/patches?repo={repo_q}&limit=20"),
+        BenchEndpoint("query_sha", f"/v1/patches?sha={sha_q}"),
+        BenchEndpoint("query_pattern", "/v1/patches?is_security=1&pattern_type=1&limit=20"),
+        BenchEndpoint("stream_repo", f"/v1/patches.jsonl?repo={repo_q}&limit=50"),
+    ]
+    cve_id = record.get("cve_id")
+    if cve_id:
+        cve_q = urllib.parse.quote(cve_id, safe="")
+        endpoints.insert(2, BenchEndpoint("query_cve", f"/v1/patches?cve_id={cve_q}"))
     return endpoints
 
 

@@ -159,9 +159,12 @@ class ClassifyBatcher:
             self.obs.observe("classify_batch", float(len(batch)))
 
 
-def _record_meta(record: PatchRecord, include_patch: bool = False) -> dict:
+def _record_meta(
+    record: PatchRecord, include_patch: bool = False, patch_text: str | None = None
+) -> dict:
     """The JSON shape of one record on the query endpoint (metadata-first;
-    the full patch text rides along only on request)."""
+    the full patch text rides along only on request, rendered through the
+    dataset's render cache when the caller supplies it)."""
     out = {
         "sha": record.patch.sha,
         "repo": record.patch.repo,
@@ -173,9 +176,11 @@ def _record_meta(record: PatchRecord, include_patch: bool = False) -> dict:
         "files_changed": len(record.patch.files),
     }
     if include_patch:
-        from ..patch.gitformat import render_mbox_patch
+        if patch_text is None:
+            from ..patch.gitformat import render_mbox_patch
 
-        out["patch_text"] = render_mbox_patch(record.patch)
+            patch_text = render_mbox_patch(record.patch)
+        out["patch_text"] = patch_text
     return out
 
 
@@ -205,6 +210,9 @@ class PatchDBService:
         self.ew = ew
         self.db = db
         self.obs = obs if obs is not None else ew.obs
+        # Dataset-level index/render-cache hits count into this service's
+        # registry, so they surface on /statsz alongside the HTTP counters.
+        db.rebind_obs(self.obs)
         self.models = (
             model_cache if model_cache is not None else FittedModelCache(obs=self.obs)
         )
@@ -289,10 +297,22 @@ class PatchDBService:
     # ---- query ------------------------------------------------------------
 
     def query(self, query: PatchQuery, include_patch: bool = False) -> dict:
-        """The paginated query endpoint: metadata rows + match accounting."""
+        """The paginated query endpoint: metadata rows + match accounting.
+
+        Both the match count and the page come from the dataset's
+        posting-list index (O(smallest posting list), not O(N)); requested
+        patch text is served from the render-once cache.
+        """
         with self.obs.timer("serve.query"):
-            total = sum(1 for r in self._records if query.matches(r))
-            rows = [_record_meta(r, include_patch) for r in query.apply(self._records)]
+            total = self.db.count(query)
+            rows = [
+                _record_meta(
+                    r,
+                    include_patch,
+                    patch_text=self.db.record_mbox(r) if include_patch else None,
+                )
+                for r in self.db.records(query)
+            ]
         return {
             "query": query.to_dict(),
             "total_matching": total,
@@ -305,10 +325,13 @@ class PatchDBService:
 
         The same one-record-at-a-time shape as
         :meth:`~repro.core.patchdb.PatchDB.write_jsonl`, so arbitrarily
-        large responses stream in constant memory.
+        large responses stream in constant memory on the wire; each line
+        renders at most once ever (the render cache is shared with
+        :meth:`query` and :meth:`~repro.core.patchdb.PatchDB.save_jsonl`),
+        so repeated streams of the same records cost bytes-out only.
         """
-        for record in query.apply(self._records):
-            yield record.to_json() + "\n"
+        for record in self.db.records(query):
+            yield self.db.record_json(record) + "\n"
 
     # ---- classify ---------------------------------------------------------
 

@@ -171,6 +171,54 @@ class TestEngineParity:
         assert engine.rows == serial.rows
 
 
+class TestModelCacheRouting:
+    """Table IV/VI fits go through the persisted FittedModelCache."""
+
+    def test_table6_never_refits_with_unchanged_training_set(self, experiment_world):
+        from repro.ml.model_cache import FittedModelCache
+        from repro.obs import ObsRegistry
+
+        cache = FittedModelCache(obs=ObsRegistry())
+        first = run_table6(experiment_world, model_cache=cache)
+        assert cache.obs.count("model_cache_misses") == 4  # RF + RNN per train set
+        assert len(cache) == 4
+
+        def total_fits():
+            return experiment_world.obs.count("fits_serial") + experiment_world.obs.count(
+                "fits_parallel"
+            )
+
+        before = total_fits()
+        second = run_table6(experiment_world, model_cache=cache)
+        assert total_fits() == before  # the re-evaluation trained nothing
+        assert cache.obs.count("model_cache_misses") == 4  # no new misses
+        assert cache.obs.count("model_cache_hits") == 4
+        assert second.rows == first.rows
+
+    def test_table4_cached_rows_match_uncached(self, experiment_world):
+        from repro.ml.model_cache import FittedModelCache
+
+        cache = FittedModelCache()
+        baseline = run_table4(experiment_world, n_seeds=1)
+        warm = run_table4(experiment_world, n_seeds=1, model_cache=cache)
+        again = run_table4(experiment_world, n_seeds=1, model_cache=cache)
+        assert warm.rows == baseline.rows
+        assert again.rows == baseline.rows
+
+    def test_persisted_cache_reloads_across_processes(self, experiment_world, tmp_path):
+        from repro.ml.model_cache import FittedModelCache
+        from repro.obs import ObsRegistry
+
+        path = tmp_path / "models.pkl"
+        cache = FittedModelCache(persist_path=path)
+        first = run_table6(experiment_world, model_cache=cache)
+        cache.save()
+        reloaded = FittedModelCache(persist_path=path, obs=ObsRegistry())
+        second = run_table6(experiment_world, model_cache=reloaded)
+        assert second.rows == first.rows
+        assert reloaded.obs.count("model_cache_misses") == 0
+
+
 class TestTable6:
     def test_eight_rows(self, experiment_world):
         result = run_table6(experiment_world)

@@ -46,6 +46,21 @@ class TestPredicates:
         with pytest.raises(QueryError):
             PatchQuery(source="github")
 
+    def test_sha_point_lookup(self, records):
+        sha = records[0].patch.sha
+        got = list(PatchQuery(sha=sha).apply(records))
+        assert got and all(r.patch.sha == sha for r in got)
+
+    def test_cve_id_filter(self, records):
+        got = list(PatchQuery(cve_id="CVE-2019-20912").apply(records))
+        assert [r.cve_id for r in got] == ["CVE-2019-20912"]
+
+    @pytest.mark.parametrize("field", ["sha", "cve_id"])
+    @pytest.mark.parametrize("bad", ["", " abc", "abc "])
+    def test_blank_or_padded_sha_cve_rejected(self, field, bad):
+        with pytest.raises(QueryError, match="non-blank"):
+            PatchQuery(**{field: bad})
+
     def test_negative_pagination_rejected(self):
         with pytest.raises(QueryError):
             PatchQuery(limit=-1)
@@ -109,14 +124,20 @@ class TestWireFormat:
         source=st.sampled_from([None, "nvd", "wild", "synthetic"]),
         is_security=st.sampled_from([None, True, False]),
         pattern_type=st.one_of(st.none(), st.integers(min_value=0, max_value=11)),
+        sha=st.one_of(st.none(), st.sampled_from(["a" * 40, "0123abcd"])),
+        cve_id=st.one_of(st.none(), st.sampled_from(["CVE-2019-20912", "CVE-2021-1"])),
         limit=st.one_of(st.none(), st.integers(min_value=0, max_value=500)),
         offset=st.integers(min_value=0, max_value=500),
     )
-    def test_query_string_round_trip(self, source, is_security, pattern_type, limit, offset):
+    def test_query_string_round_trip(
+        self, source, is_security, pattern_type, sha, cve_id, limit, offset
+    ):
         query = PatchQuery(
             source=source,
             is_security=is_security,
             pattern_type=pattern_type,
+            sha=sha,
+            cve_id=cve_id,
             limit=limit,
             offset=offset,
         )

@@ -138,6 +138,24 @@ class TestClassifyEndpoint:
         assert exc.value.code == 404
 
 
+class TestPointLookups:
+    def test_sha_query_returns_exactly_that_record(self, base_url, service):
+        _, sample = _get(base_url, "/v1/patches?limit=1")
+        sha = sample["records"][0]["sha"]
+        status, payload = _get(base_url, f"/v1/patches?sha={sha}")
+        assert status == 200
+        assert payload["total_matching"] >= 1
+        assert all(r["sha"] == sha for r in payload["records"])
+
+    def test_cve_id_query_filters(self, base_url, service):
+        with_cve = [r for r in service.db if r.cve_id]
+        if not with_cve:
+            pytest.skip("TINY dataset has no CVE-tagged records")
+        cve = with_cve[0].cve_id
+        _, payload = _get(base_url, f"/v1/patches?cve_id={cve}")
+        assert payload["total_matching"] == sum(1 for r in with_cve if r.cve_id == cve)
+
+
 class TestStatsAccounting:
     def test_requests_are_counted(self, base_url):
         _, before = _get(base_url, "/statsz")
@@ -147,3 +165,22 @@ class TestStatsAccounting:
         gained = after["counters"]["http_healthz"] - before["counters"].get("http_healthz", 0)
         assert gained >= 2
         assert after["counters"].get("http_5xx", 0) == before["counters"].get("http_5xx", 0)
+
+    def test_index_and_render_counters_surface(self, base_url):
+        _, before = _get(base_url, "/statsz")
+        _get(base_url, "/v1/patches?source=wild&limit=3")
+        with urllib.request.urlopen(f"{base_url}/v1/patches.jsonl?limit=2", timeout=10) as resp:
+            resp.read()
+        _, mid = _get(base_url, "/statsz")
+        with urllib.request.urlopen(f"{base_url}/v1/patches.jsonl?limit=2", timeout=10) as resp:
+            resp.read()
+        _, after = _get(base_url, "/statsz")
+
+        def gained(snap_a, snap_b, name):
+            return snap_b["counters"].get(name, 0) - snap_a["counters"].get(name, 0)
+
+        # count + page of the filtered query, plus the stream pages.
+        assert gained(before, mid, "index.hit") >= 3
+        # The repeat stream serves both of its lines from the render cache.
+        assert gained(mid, after, "render_cache.hit") >= 2
+        assert gained(mid, after, "render_cache.miss") == 0
