@@ -147,7 +147,8 @@ class ExperimentWorld:
     #: Rev 5: sharded per-repo world RNG scheme + real commit weekdays
     #: (world bytes and digests changed once), build_stats on World, and
     #: patch caches dropped from pickles.
-    _CACHE_REV = 5
+    #: Rev 6: dataflow-mode checkers change lint deltas cached on worlds.
+    _CACHE_REV = 6
 
     def __init__(
         self,

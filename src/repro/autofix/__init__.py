@@ -1,0 +1,30 @@
+"""Closed-loop find→patch→verify: deterministic auto-repair, no LLM.
+
+The staticcheck analyzers find planted flaws, inverted Fig. 5 templates
+(and finding-anchored deletions) propose repairs, and a five-gate verifier
+(parse, CFG equivalence, lint, dead stores, oracle panel) accepts only
+behavior-preserving fixes.  See :mod:`repro.autofix.pipeline` for the loop
+and :mod:`repro.autofix.model` for the manifest shapes.
+"""
+
+from .model import GATE_NAMES, MANIFEST_FORMAT, AutofixReport, FlawPlant, RepairOutcome
+from .pipeline import (
+    DEFAULT_KINDS,
+    AutofixConfig,
+    AutofixOracle,
+    autofix_world,
+    run_autofix,
+)
+
+__all__ = [
+    "AutofixConfig",
+    "AutofixOracle",
+    "AutofixReport",
+    "DEFAULT_KINDS",
+    "FlawPlant",
+    "GATE_NAMES",
+    "MANIFEST_FORMAT",
+    "RepairOutcome",
+    "autofix_world",
+    "run_autofix",
+]

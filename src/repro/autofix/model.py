@@ -1,0 +1,284 @@
+"""Data model of the find→patch→verify loop: plants, outcomes, the report.
+
+Everything is flat and JSON-friendly, mirroring the lint report: the CI job
+consumes the manifest as an artifact, the CLI renders the same object as
+text, and tests compare serial and parallel runs by their serialized form.
+Per-outcome wall times (``elapsed_ms``) deliberately stay OUT of the
+manifest — they are the one nondeterministic field, and excluding them
+makes a serial run and a ``--workers N`` run byte-identical.  Timings ride
+in the per-patch artifact files instead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import AutofixError
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "GATE_NAMES",
+    "FlawPlant",
+    "RepairOutcome",
+    "AutofixReport",
+]
+
+#: Manifest format tag; bumped when the JSON layout changes.
+MANIFEST_FORMAT = "repro-autofix-manifest-v1"
+
+#: Verifier gates in evaluation order; a candidate is accepted only when
+#: every gate holds.
+GATE_NAMES = ("parse", "cfg", "lint", "dead_stores", "oracle")
+
+
+@dataclass(frozen=True, slots=True)
+class FlawPlant:
+    """One flaw deliberately introduced into one corpus file.
+
+    Attributes:
+        path: world-namespaced file path (``slug/path``).
+        kind: plant kind — a checker id (payload plant) or ``variant:N``
+            (Fig. 5 scaffold plant).
+        checker: the checker expected to find the plant.
+        insert_line: 1-based line just above the inserted block.
+        n_lines: inserted line count.
+        span_start/span_end: 1-based inclusive line range attributable to
+            the plant in the mutated text (for variant plants this includes
+            the rewritten ``if`` header below the inserted scaffolding).
+        marker: token whose absence is the oracle's ground truth for
+            "flaw removed".
+    """
+
+    path: str
+    kind: str
+    checker: str
+    insert_line: int
+    n_lines: int
+    span_start: int
+    span_end: int
+    marker: str
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "checker": self.checker,
+            "insert_line": self.insert_line,
+            "n_lines": self.n_lines,
+            "span_start": self.span_start,
+            "span_end": self.span_end,
+            "marker": self.marker,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FlawPlant":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__})
+
+
+@dataclass(frozen=True, slots=True)
+class RepairOutcome:
+    """The full find→patch→verify trajectory of one plant.
+
+    Attributes:
+        plant: what was planted where.
+        planted: the plant applied (False when the file had no viable
+            host site; such files contribute to no statistic).
+        found: the expected checker fired inside the plant span.
+        finding_id: stable id of the matched finding ('' when not found).
+        false_positives: baseline-subtracted findings OUTSIDE the plant
+            span, as (checker, line) pairs — the finder's FP side (new
+            findings inside the span are attributed to the plant itself).
+        n_candidates: candidate repairs the patcher proposed.
+        accepted: a candidate passed every verifier gate.
+        candidate_index: which candidate was accepted (-1 when none).
+        gates: per-gate verdicts of the accepted (or last-tried) candidate.
+        crashed: the verifier raised on some candidate (counts toward the
+            CI zero-crash gate; never counts as accepted).
+        diff: unified diff of planted → accepted text ('' when rejected).
+        elapsed_ms: wall time for this plant (artifact-only; excluded from
+            the manifest for byte-identical serial/parallel reports).
+    """
+
+    plant: FlawPlant
+    planted: bool = True
+    found: bool = False
+    finding_id: str = ""
+    false_positives: tuple[tuple[str, int], ...] = ()
+    n_candidates: int = 0
+    accepted: bool = False
+    candidate_index: int = -1
+    gates: dict = field(default_factory=dict)
+    crashed: bool = False
+    diff: str = ""
+    elapsed_ms: float = 0.0
+
+    def to_dict(self, include_timings: bool = False) -> dict:
+        """JSON-ready representation (timings only on request)."""
+        out = {
+            "plant": self.plant.to_dict(),
+            "planted": self.planted,
+            "found": self.found,
+            "finding_id": self.finding_id,
+            "false_positives": [[c, line] for c, line in self.false_positives],
+            "n_candidates": self.n_candidates,
+            "accepted": self.accepted,
+            "candidate_index": self.candidate_index,
+            "gates": dict(self.gates),
+            "crashed": self.crashed,
+            "diff": self.diff,
+        }
+        if include_timings:
+            out["elapsed_ms"] = self.elapsed_ms
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RepairOutcome":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            plant=FlawPlant.from_dict(data["plant"]),
+            planted=bool(data.get("planted", True)),
+            found=bool(data["found"]),
+            finding_id=data.get("finding_id", ""),
+            false_positives=tuple(
+                (c, int(line)) for c, line in data.get("false_positives", [])
+            ),
+            n_candidates=int(data.get("n_candidates", 0)),
+            accepted=bool(data["accepted"]),
+            candidate_index=int(data.get("candidate_index", -1)),
+            gates=dict(data.get("gates", {})),
+            crashed=bool(data.get("crashed", False)),
+            diff=data.get("diff", ""),
+            elapsed_ms=float(data.get("elapsed_ms", 0.0)),
+        )
+
+
+@dataclass(slots=True)
+class AutofixReport:
+    """The aggregate result of one autofix run."""
+
+    outcomes: list[RepairOutcome] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
+
+    # ---- views --------------------------------------------------------
+
+    @property
+    def plants_applied(self) -> int:
+        """Files where a flaw was actually planted."""
+        return sum(1 for o in self.outcomes if o.planted)
+
+    @property
+    def found(self) -> int:
+        """Plants the finder detected."""
+        return sum(1 for o in self.outcomes if o.found)
+
+    @property
+    def accepted(self) -> int:
+        """Plants whose repair passed every verifier gate."""
+        return sum(1 for o in self.outcomes if o.accepted)
+
+    @property
+    def verifier_crashes(self) -> int:
+        """Plants where verifying some candidate raised."""
+        return sum(1 for o in self.outcomes if o.crashed)
+
+    @property
+    def repair_rate(self) -> float:
+        """Verified repairs per applied plant (0.0 when nothing planted)."""
+        applied = self.plants_applied
+        return self.accepted / applied if applied else 0.0
+
+    def finder_scores(self) -> dict[str, dict]:
+        """Per-checker find precision/recall against the planted flaws.
+
+        TP: the plant's checker fired inside the plant span.  FN: it did
+        not.  FP: any baseline-subtracted finding outside its plant's
+        attribution, charged to the checker that produced it.
+        """
+        tp: dict[str, int] = {}
+        fp: dict[str, int] = {}
+        fn: dict[str, int] = {}
+        for o in self.outcomes:
+            if not o.planted:
+                continue
+            bucket = tp if o.found else fn
+            bucket[o.plant.checker] = bucket.get(o.plant.checker, 0) + 1
+            for checker, _line in o.false_positives:
+                fp[checker] = fp.get(checker, 0) + 1
+        out: dict[str, dict] = {}
+        for checker in sorted(set(tp) | set(fp) | set(fn)):
+            t, f, n = tp.get(checker, 0), fp.get(checker, 0), fn.get(checker, 0)
+            out[checker] = {
+                "tp": t,
+                "fp": f,
+                "fn": n,
+                "precision": t / (t + f) if (t + f) else 1.0,
+                "recall": t / (t + n) if (t + n) else 1.0,
+            }
+        return out
+
+    def summary(self) -> dict:
+        """Headline numbers (also embedded in the manifest)."""
+        return {
+            "files_considered": len(self.outcomes),
+            "plants_applied": self.plants_applied,
+            "found": self.found,
+            "accepted": self.accepted,
+            "repair_rate": round(self.repair_rate, 6),
+            "verifier_crashes": self.verifier_crashes,
+            "finder": self.finder_scores(),
+        }
+
+    # ---- rendering ----------------------------------------------------
+
+    def render_text(self) -> str:
+        """Human-readable run summary: per-checker table + headline."""
+        s = self.summary()
+        lines = ["per-checker find precision/recall (vs planted flaws):"]
+        for checker, sc in s["finder"].items():
+            lines.append(
+                f"  {checker:>18s}: P={sc['precision']:.2f} R={sc['recall']:.2f} "
+                f"(tp={sc['tp']} fp={sc['fp']} fn={sc['fn']})"
+            )
+        lines.append(
+            f"{s['plants_applied']} plants ({s['files_considered']} files), "
+            f"{s['found']} found, {s['accepted']} verified repairs "
+            f"(repair rate {s['repair_rate']:.1%}), "
+            f"{s['verifier_crashes']} verifier crashes"
+        )
+        return "\n".join(lines)
+
+    # ---- persistence --------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the manifest (config + summary + timing-free outcomes)."""
+        return json.dumps(
+            {
+                "format": MANIFEST_FORMAT,
+                "config": dict(self.config),
+                "summary": self.summary(),
+                "outcomes": [o.to_dict() for o in self.outcomes],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AutofixReport":
+        """Parse a manifest produced by :meth:`to_json`.
+
+        Raises:
+            AutofixError: when the payload is not an autofix manifest.
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise AutofixError(f"invalid autofix manifest JSON: {exc}") from exc
+        if not isinstance(data, dict) or data.get("format") != MANIFEST_FORMAT:
+            raise AutofixError("not a repro autofix manifest")
+        return cls(
+            outcomes=[RepairOutcome.from_dict(o) for o in data["outcomes"]],
+            config=dict(data.get("config", {})),
+        )

@@ -385,6 +385,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                     obs=obs,
                 )
 
+    if args.baseline:
+        baseline_ids = LintReport.from_json(
+            _read_text(args.baseline, "lint baseline")
+        ).finding_ids()
+        n_before = sum(len(fr.findings) for fr in report.files)
+        report = report.apply_baseline(baseline_ids)
+        manifest["baseline_suppressed"] = n_before - sum(
+            len(fr.findings) for fr in report.files
+        )
+        if gate_result is not None:
+            gate_result.report = report
+
     if args.format == "json":
         import json as _json
 
@@ -416,6 +428,78 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if gate_result is not None and gate_result.variant_failures:
         return 1
     return 1 if failing else 0
+
+
+def _cmd_autofix(args: argparse.Namespace) -> int:
+    import hashlib
+
+    from .autofix import DEFAULT_KINDS, AutofixConfig, autofix_world
+
+    start = time.perf_counter()
+    obs = ObsRegistry()
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip()) if args.kinds else DEFAULT_KINDS
+    config = AutofixConfig(kinds=kinds, dataflow=not args.heuristic)
+    config.validate()
+    manifest: dict = {
+        "format": "repro-run-manifest-v1",
+        "command": "autofix",
+        "created_unix": time.time(),
+    }
+    with obs.span("cli.autofix", scale=args.scale, dataflow=config.dataflow):
+        print(f"building {args.scale} world (seed {args.seed})...", file=sys.stderr)
+        world = _experiment_world(args, obs).world
+        manifest.update(scale=args.scale, seed=args.seed, world_digest=world.digest())
+        report = autofix_world(
+            world,
+            config=config,
+            workers=args.workers,
+            obs=obs,
+            max_files=args.max_files,
+        )
+    print(report.render_text())
+
+    if args.report:
+        Path(args.report).write_text(report.to_json() + "\n")
+        print(f"wrote autofix report to {args.report}", file=sys.stderr)
+    if args.artifacts:
+        art_dir = Path(args.artifacts)
+        art_dir.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for outcome in report.outcomes:
+            if not outcome.planted:
+                continue
+            tag = hashlib.sha1(
+                f"{outcome.plant.path}|{outcome.plant.kind}".encode()
+            ).hexdigest()[:12]
+            (art_dir / f"autofix-{tag}.json").write_text(
+                json.dumps(outcome.to_dict(include_timings=True), indent=2, sort_keys=True)
+                + "\n"
+            )
+            written += 1
+        print(f"wrote {written} patch artifacts to {art_dir}", file=sys.stderr)
+
+    summary = report.summary()
+    manifest.update(
+        plants_applied=summary["plants_applied"],
+        found=summary["found"],
+        accepted=summary["accepted"],
+        repair_rate=summary["repair_rate"],
+        verifier_crashes=summary["verifier_crashes"],
+        wall_clock_s=round(time.perf_counter() - start, 3),
+    )
+    _emit_observability(args, obs, manifest)
+
+    if report.verifier_crashes:
+        print(f"FAIL: {report.verifier_crashes} verifier crashes", file=sys.stderr)
+        return 1
+    if args.fail_under is not None and report.repair_rate < args.fail_under:
+        print(
+            f"FAIL: repair rate {report.repair_rate:.1%} below "
+            f"--fail-under {args.fail_under:.1%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -769,7 +853,59 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--max-findings", type=int, default=50, help="cap findings printed in text mode"
     )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings whose stable ids appear in this prior "
+        "`lint --format json` report",
+    )
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_fix = sub.add_parser(
+        "autofix",
+        help="closed-loop find→patch→verify repair over a built world",
+        parents=[_world_parent(feature_cache=False), obs_parent],
+    )
+    p_fix.add_argument(
+        "--kinds",
+        default=None,
+        metavar="K1,K2,...",
+        help="comma-separated plant kinds (checker ids and variant:N); "
+        "default cycles all of them",
+    )
+    p_fix.add_argument(
+        "--heuristic",
+        action="store_true",
+        help="run the finder's checkers without dataflow refinement",
+    )
+    p_fix.add_argument(
+        "--max-files",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the run to the first N files in sorted path order",
+    )
+    p_fix.add_argument(
+        "--fail-under",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="exit non-zero when the verified repair rate is below RATE (0..1)",
+    )
+    p_fix.add_argument(
+        "--report",
+        default=None,
+        metavar="JSON",
+        help="write the repro-autofix-manifest-v1 report here",
+    )
+    p_fix.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="write one per-patch artifact JSON (finding, diff, gates, timings) per plant",
+    )
+    p_fix.set_defaults(func=_cmd_autofix)
 
     p_serve = sub.add_parser(
         "serve",

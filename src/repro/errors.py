@@ -23,6 +23,7 @@ __all__ = [
     "AugmentationError",
     "SynthesisError",
     "StaticCheckError",
+    "AutofixError",
 ]
 
 
@@ -90,3 +91,7 @@ class SynthesisError(ReproError):
 
 class StaticCheckError(ReproError):
     """The static-analysis pass was misconfigured or given bad input."""
+
+
+class AutofixError(ReproError):
+    """The find→patch→verify pipeline was misconfigured or given bad input."""

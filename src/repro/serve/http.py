@@ -11,6 +11,7 @@ dependencies) translating routes to service methods:
 ``/v1/patches``       GET     paginated metadata query (``PatchQuery`` params)
 ``/v1/patches.jsonl`` GET     streaming JSONL of full records (same params)
 ``/v1/classify``      POST    ``.patch`` body -> features+categorize+lint+model
+``/v1/lint``          POST    ``.patch`` body -> findings JSON with stable ids
 ====================  ======  ==================================================
 
 Query strings parse into the same :class:`~repro.core.query.PatchQuery`
@@ -33,7 +34,7 @@ from .service import PatchDBService
 
 __all__ = ["PatchDBServer", "make_server"]
 
-#: Largest accepted classify request body (a .patch file), in bytes.
+#: Largest accepted POST request body (a .patch file), in bytes.
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
 
@@ -137,22 +138,30 @@ class _Handler(BaseHTTPRequestHandler):
                 pass
         self._finish(endpoint, status, started)
 
+    #: POST routes: endpoint name + the service method the body goes to.
+    _POST_ROUTES = {
+        "/v1/classify": ("classify", "classify"),
+        "/v1/lint": ("lint", "lint"),
+    }
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler protocol
         started = time.perf_counter()
         route = urlsplit(self.path).path.rstrip("/")
-        if route != "/v1/classify":
+        entry = self._POST_ROUTES.get(route)
+        if entry is None:
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
             self._finish("unknown", 404, started)
             return
+        endpoint, method = entry
         status = 200
         try:
             length = int(self.headers.get("Content-Length") or 0)
             if length <= 0:
-                raise QueryError("classify requires a non-empty .patch request body")
+                raise QueryError(f"{endpoint} requires a non-empty .patch request body")
             if length > MAX_BODY_BYTES:
                 raise QueryError(f"request body exceeds {MAX_BODY_BYTES} bytes")
             body = self.rfile.read(length).decode("utf-8", errors="replace")
-            self._send_json(200, self.service.classify(body))
+            self._send_json(200, getattr(self.service, method)(body))
         except QueryError as exc:
             status = 400
             self._send_json(status, {"error": str(exc)})
@@ -166,7 +175,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(status, {"error": f"{type(exc).__name__}: {exc}"})
             except Exception:
                 pass
-        self._finish("classify", status, started)
+        self._finish(endpoint, status, started)
 
     # ---- streaming --------------------------------------------------------
 

@@ -382,6 +382,34 @@ class PatchDBService:
             "model_key": self._model_key,
         }
 
+    # ---- lint -------------------------------------------------------------
+
+    def lint(self, patch_text: str) -> dict:
+        """Run the static-analysis suite over one patch's post-image.
+
+        Unlike :meth:`classify` this needs no warmed model — it is pure
+        analysis, usable the moment the service is constructed.  Findings
+        carry their stable ids so callers can build ``lint --baseline``
+        files straight from the endpoint.
+
+        Raises:
+            ReproError: unparsable patch (HTTP 400).
+        """
+        with self.obs.timer("serve.lint"):
+            self.obs.add("lint.request")
+            patch = parse_patch(patch_text)
+            report = lint_patch(patch, obs=self.obs)
+        findings = report.findings()
+        self.obs.add("lint.findings", len(findings))
+        return {
+            "sha": patch.sha,
+            "subject": patch.subject,
+            "files_changed": len(patch.files),
+            "n_findings": len(findings),
+            "by_checker": report.counts_by_checker(),
+            "findings": [f.to_dict() for f in findings],
+        }
+
     # ---- observability ----------------------------------------------------
 
     def healthz(self) -> dict:

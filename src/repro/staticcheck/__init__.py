@@ -37,21 +37,36 @@ from .delta import (
 )
 from .equivalence import cfg_equivalent, cfg_signature, descaffolded_signature
 from .gate import GateResult, run_gate
-from .model import FileReport, Finding, LintReport, Severity
-from .seeding import OPAQUE_FIXTURE, SEEDABLE_CHECKERS, inject_violation, seed_all
+from .model import FileReport, Finding, LintReport, Severity, shifted_finding_ids
+from .seeding import (
+    DATAFLOW_FP_CHECKERS,
+    FP_OPAQUE_FIXTURE,
+    OPAQUE_FIXTURE,
+    PAYLOAD_MARKERS,
+    SEEDABLE_CHECKERS,
+    inject_false_positive,
+    inject_violation,
+    plant_violation,
+    score_fixtures,
+    seed_all,
+    seed_false_positives,
+)
 
 __all__ = [
     "CHECKER_IDS",
     "CODE_SUFFIXES",
     "Checker",
     "CheckerDeltaCache",
+    "DATAFLOW_FP_CHECKERS",
     "DELTA_FEATURE_COUNT",
     "DELTA_FEATURE_NAMES",
+    "FP_OPAQUE_FIXTURE",
     "FileReport",
     "Finding",
     "GateResult",
     "LintReport",
     "OPAQUE_FIXTURE",
+    "PAYLOAD_MARKERS",
     "SEEDABLE_CHECKERS",
     "Severity",
     "analyze_source",
@@ -59,12 +74,17 @@ __all__ = [
     "cfg_signature",
     "descaffolded_signature",
     "extend_matrix",
+    "inject_false_positive",
     "inject_violation",
     "lint_patch",
     "lint_sources",
     "lint_world",
     "make_checkers",
     "patch_fragments",
+    "plant_violation",
     "run_gate",
+    "score_fixtures",
     "seed_all",
+    "seed_false_positives",
+    "shifted_finding_ids",
 ]

@@ -42,9 +42,9 @@ CODE_SUFFIXES = (".c", ".h", ".cc", ".cpp", ".hpp", ".cxx")
 _LINT_WORKER_STATE: list[Checker] | None = None
 
 
-def _init_lint_worker(checker_ids: tuple[str, ...]) -> None:
+def _init_lint_worker(checker_ids: tuple[str, ...], dataflow: bool = True) -> None:
     global _LINT_WORKER_STATE
-    _LINT_WORKER_STATE = make_checkers(checker_ids)
+    _LINT_WORKER_STATE = make_checkers(checker_ids, dataflow=dataflow)
 
 
 def _lint_chunk(items: list[tuple[str, str, bool]]) -> tuple[list[FileReport], ObsSnapshot]:
@@ -145,6 +145,11 @@ def _lint_parallel(
     per-file ``lint`` timings match a serial run.
     """
     ids = tuple(c.id for c in checkers) if checkers is not None else CHECKER_IDS
+    # Workers rebuild checkers from ids, so the dataflow mode must ride
+    # along for parallel output to match a serial run of the same suite.
+    dataflow = (
+        all(getattr(c, "dataflow", True) for c in checkers) if checkers is not None else True
+    )
     # Enough chunks that stragglers rebalance, big enough to amortize IPC.
     n_chunks = min(len(tagged), workers * 4)
     chunks: list[list[tuple[str, str, bool]]] = [[] for _ in range(n_chunks)]
@@ -154,7 +159,7 @@ def _lint_parallel(
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_lint_worker,
-            initargs=(ids,),
+            initargs=(ids, dataflow),
         ) as pool:
             reports = []
             snapshots = []

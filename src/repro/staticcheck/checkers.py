@@ -11,6 +11,15 @@ extension block.
 
 Checkers are stateless and cheap to construct, so process-pool workers
 rebuild them from ids via :func:`make_checkers`.
+
+The missing-check, alloc-free, and decl-use checkers run in one of two
+modes: the original token/AST heuristic, or (the default) the heuristic
+refined by dataflow facts from :mod:`repro.staticcheck.dataflow` —
+reaching definitions veto constant-index and re-pointed-pointer findings,
+and the must-declared analysis vetoes goto-reordered declaration findings.
+The dataflow mode only ever *suppresses* heuristic candidates, so it is
+strictly more precise while preserving recall by construction;
+``make_checkers(dataflow=False)`` recovers the heuristic for comparison.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from ..lang.lexer import code_tokens
 from ..lang.sideeffects import expression_side_effects
 from ..lang.tokens import TokenKind
 from .context import CheckContext
+from .dataflow import ALLOCATORS, FREES, declared_names
 from .model import Finding, Severity
 
 __all__ = [
@@ -54,13 +64,12 @@ _DANGEROUS_CALLS = frozenset({"strcpy", "strcat", "sprintf", "vsprintf", "gets",
 #: Length-taking copy APIs whose size argument should be derived, not raw.
 _SIZED_COPIES = frozenset({"memcpy", "memmove"})
 
-#: Allocators whose result should be freed, returned, or escape the function.
-_ALLOCATORS = frozenset(
-    {"malloc", "calloc", "realloc", "strdup", "strndup", "kmalloc", "kzalloc", "vmalloc"}
-)
+#: Allocators whose result should be freed, returned, or escape the function
+#: (shared with the dataflow module's definition classifier).
+_ALLOCATORS = ALLOCATORS
 
 #: Deallocation entry points.
-_FREES = frozenset({"free", "kfree", "vfree"})
+_FREES = FREES
 
 #: Identifier prefix of Fig. 5 scaffolding (see repro.synthesis.variants).
 SCAFFOLD_PREFIX = "_SYS_"
@@ -159,17 +168,43 @@ def _is_derived_length(arg_tokens) -> bool:
 
 
 class MissingCheckChecker(Checker):
-    """Indexing/deref through values never validated by any earlier condition."""
+    """Indexing/deref through values never validated by any earlier condition.
+
+    In dataflow mode, reaching definitions veto two heuristic candidates:
+    an index whose every reaching definition is a literal constant needs no
+    bounds check, and a pointer parameter re-pointed at a local (``p =
+    &obj``) or a fresh allocation before the dereference cannot be NULL.
+    """
 
     id = "missing-check"
     severity = Severity.WARNING
     description = "array index or pointer parameter used without a prior check"
+    supports_dataflow = True
+
+    def __init__(self, dataflow: bool = True) -> None:
+        self.dataflow = dataflow
 
     def check(self, ctx: CheckContext) -> list[Finding]:
         out: list[Finding] = []
         for fn in ctx.functions:
             out.extend(self._check_function(ctx, fn))
         return out
+
+    def _const_index(self, ctx: CheckContext, fn: FunctionDef, tok) -> bool:
+        """All reaching definitions of the index are literal constants."""
+        flow = ctx.flow(fn) if self.dataflow else None
+        if flow is None:
+            return False
+        defs = flow.reaching_for(tok.line, tok.text)
+        return bool(defs) and all(d.kind == "const" for d in defs)
+
+    def _repointed(self, ctx: CheckContext, fn: FunctionDef, tok) -> bool:
+        """All reaching definitions of the pointer are &-of or allocations."""
+        flow = ctx.flow(fn) if self.dataflow else None
+        if flow is None:
+            return False
+        defs = flow.reaching_for(tok.line, tok.text)
+        return bool(defs) and all(d.kind in ("addr", "alloc") for d in defs)
 
     def _check_function(self, ctx: CheckContext, fn: FunctionDef) -> list[Finding]:
         # Identifier -> earliest line it is mentioned by a condition.
@@ -199,6 +234,8 @@ class MissingCheckChecker(Checker):
                 key = ("index", idx.text)
                 if key not in seen and checked_at.get(idx.text, idx.line + 1) > idx.line:
                     seen.add(key)
+                    if self._const_index(ctx, fn, idx):
+                        continue
                     out.append(
                         self.finding(
                             ctx,
@@ -215,6 +252,8 @@ class MissingCheckChecker(Checker):
                 key = ("deref", tok.text)
                 if key not in seen and checked_at.get(tok.text, tok.line + 1) > tok.line:
                     seen.add(key)
+                    if self._repointed(ctx, fn, tok):
+                        continue
                     out.append(
                         self.finding(
                             ctx,
@@ -295,17 +334,42 @@ class UnreachableCodeChecker(Checker):
 
 
 class AllocFreeChecker(Checker):
-    """Per-function alloc/free imbalance: leaks and double frees."""
+    """Per-function alloc/free imbalance: leaks and double frees.
+
+    In dataflow mode, a double-free candidate is vetoed when the
+    definitions reaching the two ``free`` calls are disjoint — the pointer
+    was re-pointed (e.g. at a fresh allocation) between the frees, so the
+    second call releases a different object.
+    """
 
     id = "alloc-free"
     severity = Severity.INFO
     description = "locally allocated pointer never freed/escaping, or freed twice"
+    supports_dataflow = True
+
+    def __init__(self, dataflow: bool = True) -> None:
+        self.dataflow = dataflow
 
     def check(self, ctx: CheckContext) -> list[Finding]:
         out: list[Finding] = []
         for fn in ctx.functions:
             out.extend(self._check_function(ctx, fn))
         return out
+
+    def _repointed_between_frees(self, ctx: CheckContext, fn: FunctionDef, ident: str) -> bool:
+        """Every pair of successive frees of *ident* sees disjoint defs."""
+        flow = ctx.flow(fn) if self.dataflow else None
+        if flow is None:
+            return False
+        free_atoms = flow.free_atoms(ident)
+        if len(free_atoms) < 2:
+            return False
+        for a, b in zip(free_atoms, free_atoms[1:]):
+            reach_a = flow.reaching_at_atom(a, ident)
+            reach_b = flow.reaching_at_atom(b, ident)
+            if not reach_a or not reach_b or (reach_a & reach_b):
+                return False
+        return True
 
     def _check_function(self, ctx: CheckContext, fn: FunctionDef) -> list[Finding]:
         tokens = ctx.function_tokens(fn)
@@ -346,6 +410,8 @@ class AllocFreeChecker(Checker):
                 )
         for ident, lines in sorted(freed.items()):
             if len(lines) > 1:
+                if self._repointed_between_frees(ctx, fn, ident):
+                    continue
                 out.append(
                     self.finding(
                         ctx,
@@ -403,11 +469,22 @@ class ScaffoldLeakChecker(Checker):
 
 
 class DeclBeforeUseChecker(Checker):
-    """A local used on a line before its (only) declaration in the function."""
+    """A local used on a line before its (only) declaration in the function.
+
+    In dataflow mode two candidate classes are vetoed: mentions that are
+    really member accesses (``s.name`` / ``p->name`` — a field, not the
+    local), and mentions whose declaration reaches every path from the
+    entry (possible despite later line order when control flows through a
+    ``goto``), via the must-declared analysis.
+    """
 
     id = "decl-use"
     severity = Severity.WARNING
     description = "identifier used before its local declaration"
+    supports_dataflow = True
+
+    def __init__(self, dataflow: bool = True) -> None:
+        self.dataflow = dataflow
 
     def check(self, ctx: CheckContext) -> list[Finding]:
         out: list[Finding] = []
@@ -419,7 +496,8 @@ class DeclBeforeUseChecker(Checker):
                         decls.setdefault(name, []).append(node.start_line)
             params = {t.text for t in code_tokens(fn.params_text) if t.kind is TokenKind.IDENTIFIER}
             flagged: set[str] = set()
-            for tok in ctx.function_tokens(fn):
+            fn_tokens = ctx.function_tokens(fn)
+            for i, tok in enumerate(fn_tokens):
                 if tok.kind is not TokenKind.IDENTIFIER or tok.text in params:
                     continue
                 lines = decls.get(tok.text)
@@ -427,42 +505,33 @@ class DeclBeforeUseChecker(Checker):
                 # cases ambiguous at this level of analysis.
                 if lines and len(lines) == 1 and tok.line < lines[0] and tok.text not in flagged:
                     flagged.add(tok.text)
+                    if self.dataflow and self._vetoed(ctx, fn, fn_tokens, i):
+                        continue
+                    # The declaration's line is deliberately NOT in the
+                    # message: stable finding ids digest the message, and a
+                    # line number here would churn every id below an edit
+                    # (breaking baseline suppression across insertions).
                     out.append(
                         self.finding(
                             ctx,
                             tok.line,
-                            f"'{tok.text}' used before its declaration on line {lines[0]}",
+                            f"'{tok.text}' used before its declaration",
                         )
                     )
         return out
 
+    def _vetoed(self, ctx: CheckContext, fn: FunctionDef, fn_tokens, i: int) -> bool:
+        tok = fn_tokens[i]
+        prev = fn_tokens[i - 1].text if i > 0 else ""
+        if prev in (".", "->"):
+            return True  # member access: the field shadows no local
+        flow = ctx.flow(fn)
+        return flow is not None and flow.declared_before(tok.line, tok.text)
 
-def _declared_names(decl_text: str) -> list[str]:
-    """Declared identifiers in a declaration statement's source text."""
-    toks = code_tokens(decl_text)
-    names: list[str] = []
-    depth = 0
-    for i, tok in enumerate(toks):
-        if tok.text in ("(", "["):
-            depth += 1
-            continue
-        if tok.text in (")", "]"):
-            depth -= 1
-            continue
-        if depth or tok.kind is not TokenKind.IDENTIFIER:
-            continue
-        prev = toks[i - 1] if i > 0 else None
-        nxt = toks[i + 1].text if i + 1 < len(toks) else ";"
-        # A name position: not the leading type word, and terminated like a
-        # declarator ('int a, b = 2;' -> a, b; 'size_t tmp;' -> tmp).
-        if nxt in (",", ";", "=", "["):
-            if prev is not None and prev.kind is TokenKind.IDENTIFIER and i == 1:
-                names.append(tok.text)  # 'size_t tmp' — tmp is the declarator
-            elif prev is None:
-                continue  # first token can't be a declarator
-            else:
-                names.append(tok.text)
-    return names
+
+#: Declared identifiers in a declaration statement's source text
+#: (canonical implementation lives with the dataflow definitions scanner).
+_declared_names = declared_names
 
 
 class ParseCoverageChecker(Checker):
@@ -509,8 +578,16 @@ CHECKER_IDS: tuple[str, ...] = tuple(cls.id for cls in _REGISTRY)
 _BY_ID = {cls.id: cls for cls in _REGISTRY}
 
 
-def make_checkers(ids: tuple[str, ...] | list[str] | None = None) -> list[Checker]:
+def make_checkers(
+    ids: tuple[str, ...] | list[str] | None = None,
+    dataflow: bool = True,
+) -> list[Checker]:
     """Instantiate checkers by id (all of them when *ids* is None).
+
+    Args:
+        ids: checker ids to instantiate, in the given order.
+        dataflow: run the missing-check/alloc-free/decl-use checkers with
+            dataflow-fact refinement (the default) or as pure heuristics.
 
     Raises:
         StaticCheckError: for an unknown checker id.
@@ -522,4 +599,7 @@ def make_checkers(ids: tuple[str, ...] | list[str] | None = None) -> list[Checke
         raise StaticCheckError(
             f"unknown checker id(s): {', '.join(unknown)} (choose from {', '.join(CHECKER_IDS)})"
         )
-    return [_BY_ID[i]() for i in ids]
+    return [
+        _BY_ID[i](dataflow=dataflow) if getattr(_BY_ID[i], "supports_dataflow", False) else _BY_ID[i]()
+        for i in ids
+    ]

@@ -28,6 +28,7 @@ from ..lang.ast_nodes import (
 from ..lang.lexer import code_tokens
 from ..lang.parser import parse_translation_unit
 from ..lang.tokens import Token
+from .dataflow import FunctionFlow
 
 __all__ = ["CondSite", "CheckContext"]
 
@@ -74,6 +75,7 @@ class CheckContext:
         self._cond_sites: list[CondSite] | None = None
         self._coverage: tuple[int, int] | None = None
         self._fn_tokens: dict[int, list[Token]] | None = None
+        self._flows: dict[int, FunctionFlow | None] | None = None
 
     # ---- lexing / parsing ---------------------------------------------
 
@@ -118,6 +120,23 @@ class CheckContext:
             cached = [t for t in self.tokens if fn.start_line <= t.line <= fn.end_line]
             self._fn_tokens[id(fn)] = cached
         return cached
+
+    def flow(self, fn: FunctionDef) -> FunctionFlow | None:
+        """Memoized dataflow facts for one parsed function.
+
+        Returns None when CFG construction or an analysis fails on the
+        function — checkers fall back to their heuristic answer rather
+        than crashing, mirroring the robust-parse philosophy.
+        """
+        if self._flows is None:
+            self._flows = {}
+        key = id(fn)
+        if key not in self._flows:
+            try:
+                self._flows[key] = FunctionFlow(fn)
+            except Exception:  # robust mode: facts unavailable, not fatal
+                self._flows[key] = None
+        return self._flows[key]
 
     # ---- conditions ---------------------------------------------------
 

@@ -1,0 +1,708 @@
+"""Per-function control-flow graphs and classic dataflow analyses.
+
+The checker suite started as token/AST heuristics; this module gives the
+suite real dataflow facts to consult.  For each parsed
+:class:`~repro.lang.ast_nodes.FunctionDef` it builds a statement-level CFG
+(*atoms* — declarations, expression statements, conditions, returns —
+connected by control-flow edges including loops, switch dispatch, break/
+continue, and resolved gotos) and runs three textbook analyses over it:
+
+* **reaching definitions** — which assignments of a variable can reach a
+  use, with each definition classified (``const``/``addr``/``alloc``/
+  ``param``/``decl``/``other``) so checkers can reason about what a value
+  *is* at the use site;
+* **liveness** — which variables may still be read after a point, the
+  backward analysis behind :meth:`FunctionFlow.dead_stores`;
+* **must-declared** — on every path from the entry, which locals have
+  already passed their declaration (an intersection analysis, so
+  goto-reordered code is handled correctly where raw line order is not).
+
+Checkers use these facts to *veto* heuristic findings (a constant index
+needs no bounds check; a re-pointed pointer makes a second ``free`` safe; a
+declaration reached through a ``goto`` is not use-before-decl), which is
+why the dataflow-backed modes are strictly more precise than the
+heuristics while preserving their recall by construction.
+
+The module is self-contained over :mod:`repro.lang` so that both
+``checkers`` and ``context`` can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.ast_nodes import (
+    BlockStmt,
+    BreakStmt,
+    CaseLabel,
+    ContinueStmt,
+    DeclStmt,
+    DoWhileStmt,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    GotoStmt,
+    IfStmt,
+    LabelStmt,
+    NullStmt,
+    ReturnStmt,
+    Stmt,
+    SwitchStmt,
+    WhileStmt,
+)
+from ..lang.lexer import code_tokens
+from ..lang.tokens import ASSIGNMENT_OPERATORS, Token, TokenKind
+
+__all__ = [
+    "ALLOCATORS",
+    "FREES",
+    "Atom",
+    "Cfg",
+    "Definition",
+    "FunctionFlow",
+    "build_cfg",
+    "declared_names",
+    "param_names",
+]
+
+#: Allocators whose result should be freed, returned, or escape the function.
+ALLOCATORS = frozenset(
+    {"malloc", "calloc", "realloc", "strdup", "strndup", "kmalloc", "kzalloc", "vmalloc"}
+)
+
+#: Deallocation entry points.
+FREES = frozenset({"free", "kfree", "vfree"})
+
+#: Definition kinds, from most to least informative.
+DEF_KINDS = ("param", "const", "addr", "alloc", "decl", "update", "other")
+
+
+@dataclass(frozen=True, slots=True)
+class Definition:
+    """One definition of a variable.
+
+    Attributes:
+        var: the defined identifier.
+        atom: index of the defining atom (the entry atom for parameters).
+        line: 1-based source line of the definition.
+        kind: ``param`` (function parameter), ``const`` (literal-only
+            right-hand side), ``addr`` (``&``-of right-hand side), ``alloc``
+            (allocator call on the right-hand side), ``decl`` (declaration
+            without initializer), ``update`` (compound assignment or
+            increment, which also reads the target), or ``other``.
+    """
+
+    var: str
+    atom: int
+    line: int
+    kind: str
+
+
+@dataclass(slots=True)
+class Atom:
+    """One CFG node: a statement-level unit with a source line."""
+
+    index: int
+    kind: str  # entry/exit/join/decl/expr/cond/case/return/goto/break/continue/label
+    text: str
+    line: int
+
+
+class Cfg:
+    """A per-function control-flow graph over :class:`Atom` nodes."""
+
+    __slots__ = ("atoms", "succs", "preds", "entry", "exit")
+
+    def __init__(self, atoms: list[Atom], succs: list[list[int]], entry: int, exit: int) -> None:
+        self.atoms = atoms
+        self.succs = succs
+        self.entry = entry
+        self.exit = exit
+        preds: list[list[int]] = [[] for _ in atoms]
+        for a, outs in enumerate(succs):
+            for b in outs:
+                preds[b].append(a)
+        self.preds = preds
+
+    def reachable(self) -> list[int]:
+        """Atom indices reachable from the entry, in BFS order."""
+        seen = [False] * len(self.atoms)
+        order: list[int] = []
+        queue = [self.entry]
+        seen[self.entry] = True
+        while queue:
+            a = queue.pop(0)
+            order.append(a)
+            for b in self.succs[a]:
+                if not seen[b]:
+                    seen[b] = True
+                    queue.append(b)
+        return order
+
+
+class _Builder:
+    """Recursive CFG construction over one function's statement tree."""
+
+    def __init__(self, fn: FunctionDef) -> None:
+        self.fn = fn
+        self.atoms: list[Atom] = []
+        self.succs: list[list[int]] = []
+        self._labels: dict[str, int] = {}
+        self._gotos: list[tuple[int, str]] = []
+        self._exits: list[int] = []  # atoms that jump straight to the exit
+        self._breaks: list[list[int]] = []
+        self._continues: list[list[int]] = []
+        self._switch_conds: list[int] = []
+
+    def _new(self, kind: str, text: str, line: int) -> int:
+        idx = len(self.atoms)
+        self.atoms.append(Atom(idx, kind, text, line))
+        self.succs.append([])
+        return idx
+
+    def _edge(self, a: int, b: int) -> None:
+        if b not in self.succs[a]:
+            self.succs[a].append(b)
+
+    def _connect(self, frontier: list[int], target: int) -> None:
+        for a in frontier:
+            self._edge(a, target)
+
+    def build(self) -> Cfg:
+        entry = self._new("entry", "", self.fn.start_line)
+        frontier = self._stmt(self.fn.body, [entry])
+        exit_ = self._new("exit", "", self.fn.end_line)
+        self._connect(frontier, exit_)
+        self._connect(self._exits, exit_)
+        for goto_atom, label in self._gotos:
+            self._edge(goto_atom, self._labels.get(label, exit_))
+        return Cfg(self.atoms, self.succs, entry, exit_)
+
+    def _stmt(self, stmt: Stmt | None, frontier: list[int]) -> list[int]:
+        if stmt is None:
+            return frontier
+        if isinstance(stmt, BlockStmt):
+            for s in stmt.stmts:
+                frontier = self._stmt(s, frontier)
+            return frontier
+        if isinstance(stmt, (DeclStmt, ExprStmt)):
+            kind = "decl" if isinstance(stmt, DeclStmt) else "expr"
+            a = self._new(kind, stmt.text, stmt.start_line)
+            self._connect(frontier, a)
+            return [a]
+        if isinstance(stmt, NullStmt):
+            return frontier
+        if isinstance(stmt, ReturnStmt):
+            a = self._new("return", stmt.value_text, stmt.start_line)
+            self._connect(frontier, a)
+            self._exits.append(a)
+            return []
+        if isinstance(stmt, GotoStmt):
+            a = self._new("goto", "", stmt.start_line)
+            self._connect(frontier, a)
+            self._gotos.append((a, stmt.label))
+            return []
+        if isinstance(stmt, BreakStmt):
+            a = self._new("break", "", stmt.start_line)
+            self._connect(frontier, a)
+            if self._breaks:
+                self._breaks[-1].append(a)
+            else:
+                self._exits.append(a)  # stray break: robustly treated as exit
+            return []
+        if isinstance(stmt, ContinueStmt):
+            a = self._new("continue", "", stmt.start_line)
+            self._connect(frontier, a)
+            if self._continues:
+                self._continues[-1].append(a)
+            else:
+                self._exits.append(a)
+            return []
+        if isinstance(stmt, IfStmt):
+            c = self._new("cond", stmt.cond.text, stmt.start_line)
+            self._connect(frontier, c)
+            then_out = self._stmt(stmt.then, [c])
+            else_out = self._stmt(stmt.orelse, [c]) if stmt.orelse is not None else [c]
+            return _merge(then_out, else_out)
+        if isinstance(stmt, WhileStmt):
+            c = self._new("cond", stmt.cond.text, stmt.start_line)
+            self._connect(frontier, c)
+            self._breaks.append([])
+            self._continues.append([])
+            body_out = self._stmt(stmt.body, [c])
+            self._connect(body_out, c)
+            self._connect(self._continues.pop(), c)
+            return _merge([c], self._breaks.pop())
+        if isinstance(stmt, DoWhileStmt):
+            head = self._new("join", "", stmt.start_line)
+            self._connect(frontier, head)
+            self._breaks.append([])
+            self._continues.append([])
+            body_out = self._stmt(stmt.body, [head])
+            c = self._new("cond", stmt.cond.text, stmt.end_line)
+            self._connect(body_out, c)
+            self._connect(self._continues.pop(), c)
+            self._edge(c, head)
+            return _merge([c], self._breaks.pop())
+        if isinstance(stmt, ForStmt):
+            return self._for(stmt, frontier)
+        if isinstance(stmt, SwitchStmt):
+            c = self._new("cond", stmt.cond.text, stmt.start_line)
+            self._connect(frontier, c)
+            self._breaks.append([])
+            self._switch_conds.append(c)
+            body_out = self._stmt(stmt.body, [c])
+            self._switch_conds.pop()
+            # [c] covers the no-matching-case path (an over-approximation
+            # when a default label exists, which is safe for every analysis
+            # here: may-analyses gain paths, must-analyses lose facts).
+            return _merge(body_out, _merge(self._breaks.pop(), [c]))
+        if isinstance(stmt, CaseLabel):
+            a = self._new("case", stmt.label_text, stmt.start_line)
+            self._connect(frontier, a)
+            if self._switch_conds:
+                self._edge(self._switch_conds[-1], a)
+            return [a]
+        if isinstance(stmt, LabelStmt):
+            a = self._new("label", "", stmt.start_line)
+            self._connect(frontier, a)
+            self._labels[stmt.name] = a
+            return self._stmt(stmt.stmt, [a]) if stmt.stmt is not None else [a]
+        # Unknown statement kind: treat as an opaque straight-line atom.
+        a = self._new("expr", "", stmt.start_line)
+        self._connect(frontier, a)
+        return [a]
+
+    def _for(self, stmt: ForStmt, frontier: list[int]) -> list[int]:
+        clauses = stmt.clauses.split(";")
+        init, test, update = (
+            (clauses[0], clauses[1], clauses[2]) if len(clauses) == 3 else ("", stmt.clauses, "")
+        )
+        if init.strip():
+            a = self._new("expr", init.strip(), stmt.start_line)
+            self._connect(frontier, a)
+            frontier = [a]
+        c = self._new("cond", test.strip(), stmt.start_line)
+        self._connect(frontier, c)
+        self._breaks.append([])
+        self._continues.append([])
+        body_out = self._stmt(stmt.body, [c])
+        conts = self._continues.pop()
+        if update.strip():
+            u = self._new("expr", update.strip(), stmt.start_line)
+            self._connect(body_out, u)
+            self._connect(conts, u)
+            self._edge(u, c)
+        else:
+            self._connect(body_out, c)
+            self._connect(conts, c)
+        # for (;;) only exits through break.
+        exits = [c] if test.strip() else []
+        return _merge(exits, self._breaks.pop())
+
+
+def _merge(a: list[int], b: list[int]) -> list[int]:
+    """Order-preserving union of two frontiers."""
+    return a + [x for x in b if x not in a]
+
+
+def build_cfg(fn: FunctionDef) -> Cfg:
+    """Build the statement-level CFG of one parsed function."""
+    return _Builder(fn).build()
+
+
+# ---- token-level def/use extraction ------------------------------------
+
+
+def declared_names(decl_text: str) -> list[str]:
+    """Declared identifiers in a declaration statement's source text."""
+    toks = code_tokens(decl_text)
+    names: list[str] = []
+    depth = 0
+    for i, tok in enumerate(toks):
+        if tok.text in ("(", "["):
+            depth += 1
+            continue
+        if tok.text in (")", "]"):
+            depth -= 1
+            continue
+        if depth or tok.kind is not TokenKind.IDENTIFIER:
+            continue
+        prev = toks[i - 1] if i > 0 else None
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ";"
+        # A name position: not the leading type word, and terminated like a
+        # declarator ('int a, b = 2;' -> a, b; 'size_t tmp;' -> tmp).
+        if nxt in (",", ";", "=", "["):
+            if prev is not None and prev.kind is TokenKind.IDENTIFIER and i == 1:
+                names.append(tok.text)  # 'size_t tmp' — tmp is the declarator
+            elif prev is None:
+                continue  # first token can't be a declarator
+            else:
+                names.append(tok.text)
+    return names
+
+
+def param_names(params_text: str) -> list[str]:
+    """Parameter names in a parameter list's source text.
+
+    Accepts the list with or without its surrounding parentheses
+    (``FunctionDef.params_text`` keeps them).
+    """
+    out: list[str] = []
+    stripped = params_text.strip()
+    if stripped.startswith("(") and stripped.endswith(")"):
+        stripped = stripped[1:-1]
+    toks = code_tokens(stripped)
+    depth = 0
+    for i, tok in enumerate(toks):
+        if tok.text in ("(", "["):
+            depth += 1
+            continue
+        if tok.text in (")", "]"):
+            depth -= 1
+            continue
+        if depth or tok.kind is not TokenKind.IDENTIFIER:
+            continue
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+        # The declarator name is the identifier right before ',' or the end.
+        if nxt in (",", "") and tok.text not in ("void",):
+            out.append(tok.text)
+    return out
+
+
+def _classify_rhs(toks: list[Token], allocators: frozenset[str]) -> str:
+    """Classify an initializer/assignment right-hand side's tokens."""
+    if not toks:
+        return "other"
+    if toks[0].text == "&":
+        return "addr"
+    for i, tok in enumerate(toks):
+        if (
+            tok.kind is TokenKind.IDENTIFIER
+            and tok.text in allocators
+            and i + 1 < len(toks)
+            and toks[i + 1].text == "("
+        ):
+            return "alloc"
+    if all(
+        tok.kind in (TokenKind.NUMBER, TokenKind.CHAR) or tok.text in ("-", "+", "(", ")", "~")
+        for tok in toks
+    ):
+        return "const"
+    return "other"
+
+
+def _rhs_span(toks: list[Token], op_idx: int) -> list[Token]:
+    """Tokens of the right-hand side following the operator at *op_idx*."""
+    out: list[Token] = []
+    depth = 0
+    for tok in toks[op_idx + 1 :]:
+        if tok.text in ("(", "["):
+            depth += 1
+        elif tok.text in (")", "]"):
+            depth -= 1
+        elif tok.text in (";", ",") and depth <= 0:
+            break
+        out.append(tok)
+    return out
+
+
+class FunctionFlow:
+    """Dataflow facts for one function: CFG + the three analyses.
+
+    Args:
+        fn: a parsed function definition.
+        allocators / frees: call names treated as allocation/deallocation
+            when classifying definitions (defaults cover the checker suite).
+    """
+
+    def __init__(
+        self,
+        fn: FunctionDef,
+        allocators: frozenset[str] = ALLOCATORS,
+        frees: frozenset[str] = FREES,
+    ) -> None:
+        self.fn = fn
+        self.cfg = build_cfg(fn)
+        self._allocators = allocators
+        self._frees = frees
+        self._params = tuple(dict.fromkeys(param_names(fn.params_text)))
+        n = len(self.cfg.atoms)
+        self._defs: list[tuple[Definition, ...]] = [() for _ in range(n)]
+        self._uses: list[frozenset[str]] = [frozenset() for _ in range(n)]
+        self._decls: list[frozenset[str]] = [frozenset() for _ in range(n)]
+        self._frees_at: list[tuple[str, ...]] = [() for _ in range(n)]
+        for atom in self.cfg.atoms:
+            self._scan_atom(atom)
+        self._reach_in: list[dict[str, frozenset[Definition]]] | None = None
+        self._live_out: list[frozenset[str]] | None = None
+        self._declared_in: list[frozenset[str]] | None = None
+
+    # ---- per-atom facts ------------------------------------------------
+
+    def _scan_atom(self, atom: Atom) -> None:
+        if atom.kind == "entry":
+            self._defs[atom.index] = tuple(
+                Definition(p, atom.index, atom.line, "param") for p in self._params
+            )
+            return
+        if atom.kind not in ("decl", "expr", "cond", "return", "case"):
+            return
+        toks = code_tokens(atom.text)
+        if atom.kind == "decl":
+            self._scan_decl(atom, toks)
+            return
+        defs: list[Definition] = []
+        uses: set[str] = set()
+        if atom.kind == "expr":
+            defs, uses = self._scan_expr(atom, toks)
+        else:
+            uses = self._ident_uses(toks)
+        self._defs[atom.index] = tuple(defs)
+        self._uses[atom.index] = frozenset(uses)
+        self._frees_at[atom.index] = self._scan_frees(toks)
+
+    def _scan_decl(self, atom: Atom, toks: list[Token]) -> None:
+        names = declared_names(atom.text)
+        defs: list[Definition] = []
+        uses: set[str] = set()
+        for name in names:
+            kind = "decl"
+            for i, tok in enumerate(toks):
+                if tok.kind is TokenKind.IDENTIFIER and tok.text == name:
+                    if i + 1 < len(toks) and toks[i + 1].text == "=":
+                        rhs = _rhs_span(toks, i + 1)
+                        kind = _classify_rhs(rhs, self._allocators)
+                        uses |= self._ident_uses(rhs)
+                    break
+            defs.append(Definition(name, atom.index, atom.line, kind))
+        self._defs[atom.index] = tuple(defs)
+        self._uses[atom.index] = frozenset(uses - set(names))
+        self._decls[atom.index] = frozenset(names)
+        self._frees_at[atom.index] = self._scan_frees(toks)
+
+    def _scan_expr(self, atom: Atom, toks: list[Token]) -> tuple[list[Definition], set[str]]:
+        defs: list[Definition] = []
+        uses: set[str] = set()
+        for i, tok in enumerate(toks):
+            if tok.kind is not TokenKind.IDENTIFIER:
+                continue
+            prev = toks[i - 1].text if i > 0 else ""
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            if nxt == "(":  # callee name, not a variable
+                continue
+            if prev in (".", "->"):  # member access never defines the base
+                uses.add(tok.text)
+                continue
+            if nxt in ASSIGNMENT_OPERATORS and prev not in ("*",):
+                rhs = _rhs_span(toks, i + 1)
+                kind = _classify_rhs(rhs, self._allocators) if nxt == "=" else "update"
+                defs.append(Definition(tok.text, atom.index, tok.line, kind))
+                if nxt != "=":
+                    uses.add(tok.text)  # compound assignment reads the target
+                continue
+            if nxt in ("++", "--") or prev in ("++", "--"):
+                defs.append(Definition(tok.text, atom.index, tok.line, "update"))
+                uses.add(tok.text)
+                continue
+            uses.add(tok.text)
+        return defs, uses
+
+    def _ident_uses(self, toks: list[Token]) -> set[str]:
+        out: set[str] = set()
+        for i, tok in enumerate(toks):
+            if tok.kind is not TokenKind.IDENTIFIER:
+                continue
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            if nxt == "(":
+                continue
+            out.add(tok.text)
+        return out
+
+    def _scan_frees(self, toks: list[Token]) -> tuple[str, ...]:
+        freed: list[str] = []
+        for i, tok in enumerate(toks):
+            if (
+                tok.kind is TokenKind.IDENTIFIER
+                and tok.text in self._frees
+                and i + 2 < len(toks)
+                and toks[i + 1].text == "("
+                and toks[i + 2].kind is TokenKind.IDENTIFIER
+            ):
+                freed.append(toks[i + 2].text)
+        return tuple(freed)
+
+    # ---- analyses ------------------------------------------------------
+
+    def _reaching(self) -> list[dict[str, frozenset[Definition]]]:
+        if self._reach_in is not None:
+            return self._reach_in
+        cfg = self.cfg
+        n = len(cfg.atoms)
+        reach_in: list[dict[str, frozenset[Definition]]] = [{} for _ in range(n)]
+        reach_out: list[dict[str, frozenset[Definition]]] = [{} for _ in range(n)]
+        order = cfg.reachable()
+        changed = True
+        while changed:
+            changed = False
+            for a in order:
+                merged: dict[str, set[Definition]] = {}
+                for p in cfg.preds[a]:
+                    for var, defs in reach_out[p].items():
+                        merged.setdefault(var, set()).update(defs)
+                new_in = {var: frozenset(defs) for var, defs in merged.items()}
+                new_out = dict(new_in)
+                for d in self._defs[a]:
+                    new_out[d.var] = frozenset({d})
+                if new_in != reach_in[a] or new_out != reach_out[a]:
+                    reach_in[a] = new_in
+                    reach_out[a] = new_out
+                    changed = True
+        self._reach_in = reach_in
+        return reach_in
+
+    def _liveness(self) -> list[frozenset[str]]:
+        if self._live_out is not None:
+            return self._live_out
+        cfg = self.cfg
+        n = len(cfg.atoms)
+        live_in: list[frozenset[str]] = [frozenset() for _ in range(n)]
+        live_out: list[frozenset[str]] = [frozenset() for _ in range(n)]
+        order = list(reversed(cfg.reachable()))
+        changed = True
+        while changed:
+            changed = False
+            for a in order:
+                out: set[str] = set()
+                for s in cfg.succs[a]:
+                    out |= live_in[s]
+                defs = {d.var for d in self._defs[a]}
+                new_in = frozenset(self._uses[a] | (out - defs))
+                new_out = frozenset(out)
+                if new_in != live_in[a] or new_out != live_out[a]:
+                    live_in[a] = new_in
+                    live_out[a] = new_out
+                    changed = True
+        self._live_out = live_out
+        return live_out
+
+    def _declared(self) -> list[frozenset[str]]:
+        """Must-declared: locals declared on *every* path to each atom."""
+        if self._declared_in is not None:
+            return self._declared_in
+        cfg = self.cfg
+        n = len(cfg.atoms)
+        all_vars = frozenset(v for decls in self._decls for v in decls) | set(self._params)
+        declared_in: list[frozenset[str]] = [all_vars] * n
+        declared_out: list[frozenset[str]] = [all_vars] * n
+        declared_in[cfg.entry] = frozenset()
+        declared_out[cfg.entry] = frozenset(self._params)
+        order = cfg.reachable()
+        changed = True
+        while changed:
+            changed = False
+            for a in order:
+                if a == cfg.entry:
+                    continue
+                preds = cfg.preds[a]
+                if preds:
+                    acc = declared_out[preds[0]]
+                    for p in preds[1:]:
+                        acc = acc & declared_out[p]
+                else:
+                    acc = frozenset()
+                new_in = acc
+                new_out = acc | self._decls[a]
+                if new_in != declared_in[a] or new_out != declared_out[a]:
+                    declared_in[a] = new_in
+                    declared_out[a] = new_out
+                    changed = True
+        self._declared_in = declared_in
+        return declared_in
+
+    # ---- checker-facing queries ---------------------------------------
+
+    def atoms_at(self, line: int) -> list[Atom]:
+        """Atoms whose source line is *line*."""
+        return [a for a in self.cfg.atoms if a.line == line and a.kind not in ("entry", "exit")]
+
+    def reaching_for(self, line: int, var: str) -> frozenset[Definition] | None:
+        """Definitions of *var* that may reach its mention at *line*.
+
+        Returns None when no atom at that line mentions *var* — the caller
+        should treat that as "unknown" and not suppress anything.
+        """
+        reach = self._reaching()
+        found = False
+        out: set[Definition] = set()
+        for atom in self.atoms_at(line):
+            mentions = var in self._uses[atom.index] or any(
+                d.var == var for d in self._defs[atom.index]
+            )
+            if not mentions:
+                continue
+            found = True
+            out |= reach[atom.index].get(var, frozenset())
+        return frozenset(out) if found else None
+
+    def declared_before(self, line: int, var: str) -> bool:
+        """True when *var*'s declaration reaches every path to its mention
+        at *line* (e.g. through a ``goto``), despite raw line order."""
+        declared = self._declared()
+        for atom in self.atoms_at(line):
+            mentions = var in self._uses[atom.index] or any(
+                d.var == var for d in self._defs[atom.index]
+            )
+            if mentions and var in declared[atom.index]:
+                return True
+        return False
+
+    def free_atoms(self, var: str) -> list[int]:
+        """Indices of atoms that call a deallocator on *var*, in atom order."""
+        return [a.index for a in self.cfg.atoms if var in self._frees_at[a.index]]
+
+    def reaching_at_atom(self, atom: int, var: str) -> frozenset[Definition]:
+        """Definitions of *var* reaching atom *atom* (reach-in)."""
+        return self._reaching()[atom].get(var, frozenset())
+
+    def live_out(self, atom: int) -> frozenset[str]:
+        """Variables that may still be read after atom *atom*."""
+        return self._liveness()[atom]
+
+    def dead_stores(self) -> list[Definition]:
+        """Plain assignments whose value can never be read.
+
+        Declarations without initializers and parameters are not stores,
+        and compound assignments / increments (kind ``update``) read their
+        target, so only plain ``=`` assignments and initializers with a
+        dead left-hand side are reported.  Variables whose address is taken
+        anywhere are skipped entirely (aliased reads are invisible to the
+        token scan).
+        """
+        live = self._liveness()
+        addr_taken = self._address_taken()
+        out: list[Definition] = []
+        reachable = set(self.cfg.reachable())
+        for atom in self.cfg.atoms:
+            if atom.index not in reachable:
+                continue
+            for d in self._defs[atom.index]:
+                if d.kind in ("param", "decl", "update"):
+                    continue
+                if d.var in addr_taken:
+                    continue
+                if d.var not in live[atom.index]:
+                    out.append(d)
+        return out
+
+    def _address_taken(self) -> frozenset[str]:
+        taken: set[str] = set()
+        for atom in self.cfg.atoms:
+            toks = code_tokens(atom.text)
+            for i, tok in enumerate(toks):
+                if tok.text == "&" and i + 1 < len(toks) and toks[i + 1].kind is TokenKind.IDENTIFIER:
+                    prev = toks[i - 1] if i > 0 else None
+                    # '&' is address-of when not a binary operator position.
+                    if prev is None or prev.kind is TokenKind.OPERATOR or prev.text in ("(", ",", "=", "return", ";"):
+                        taken.add(toks[i + 1].text)
+        return frozenset(taken)

@@ -9,13 +9,14 @@ the same :class:`LintReport`.
 from __future__ import annotations
 
 import enum
+import hashlib
 import json
 from collections import Counter
 from dataclasses import dataclass, field
 
 from ..errors import StaticCheckError
 
-__all__ = ["Severity", "Finding", "FileReport", "LintReport"]
+__all__ = ["Severity", "Finding", "FileReport", "LintReport", "shifted_finding_ids"]
 
 #: Report format tag; bumped when the JSON layout changes.
 REPORT_FORMAT = "repro-lint-report-v1"
@@ -54,6 +55,20 @@ class Finding:
     message: str
     function: str = ""
 
+    @property
+    def stable_id(self) -> str:
+        """Deterministic 16-hex id over (checker, path, line, span hash).
+
+        The span hash digests the finding's message and enclosing function
+        — a stable proxy for the flagged source span — so re-running the
+        same suite over the same text always yields the same id, and a
+        baseline file can suppress previously recorded findings across
+        runs and machines.
+        """
+        span = hashlib.sha1(f"{self.message}|{self.function}".encode()).hexdigest()[:8]
+        key = f"{self.checker}|{self.path}|{self.line}|{span}"
+        return hashlib.sha1(key.encode()).hexdigest()[:16]
+
     def render(self) -> str:
         """One-line ``path:line [severity/checker] message`` form."""
         where = f"{self.path}:{self.line}"
@@ -63,6 +78,7 @@ class Finding:
     def to_dict(self) -> dict:
         """JSON-ready representation."""
         return {
+            "id": self.stable_id,
             "checker": self.checker,
             "severity": self.severity.value,
             "path": self.path,
@@ -82,6 +98,25 @@ class Finding:
             message=data["message"],
             function=data.get("function", ""),
         )
+
+
+def shifted_finding_ids(report: "LintReport", insert_line: int, added: int) -> frozenset[str]:
+    """Stable ids of *report*'s findings after a line insertion.
+
+    When *added* lines are spliced in just below line *insert_line*
+    (1-based; lines 1..insert_line keep their numbers), every finding
+    below the splice moves down by *added* — this recomputes each id at
+    its post-insertion line so a pre-mutation baseline can be subtracted
+    from a post-mutation report without the shift masquerading as churn.
+    """
+    import dataclasses
+
+    out = set()
+    for fr in report.files:
+        for f in fr.findings:
+            line = f.line + added if f.line > insert_line else f.line
+            out.add(dataclasses.replace(f, line=line).stable_id)
+    return frozenset(out)
 
 
 @dataclass(frozen=True, slots=True)
@@ -155,6 +190,28 @@ class LintReport:
     def counts_by_checker(self) -> dict[str, int]:
         """``checker id -> number of findings`` over the whole run."""
         return dict(Counter(f.checker for fr in self.files for f in fr.findings))
+
+    def finding_ids(self) -> frozenset[str]:
+        """The stable ids of every finding in the report."""
+        return frozenset(f.stable_id for fr in self.files for f in fr.findings)
+
+    def apply_baseline(self, baseline_ids: frozenset[str] | set[str]) -> "LintReport":
+        """A copy of the report without findings recorded in a baseline.
+
+        File entries (and their coverage metrics) are kept even when all of
+        a file's findings are suppressed, so summaries stay comparable.
+        """
+        files = [
+            FileReport(
+                path=fr.path,
+                findings=tuple(f for f in fr.findings if f.stable_id not in baseline_ids),
+                parse_failed=fr.parse_failed,
+                code_lines=fr.code_lines,
+                opaque_lines=fr.opaque_lines,
+            )
+            for fr in self.files
+        ]
+        return LintReport(files=files)
 
     @property
     def code_lines(self) -> int:

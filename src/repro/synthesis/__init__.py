@@ -2,17 +2,22 @@
 
 from .engine import PatchSynthesizer, SyntheticPatch, synthesize_from_texts
 from .locator import LocatedIf, locate_ifs, touched_lines
+from .repair import RepairSite, find_repair_sites, repair_all, repair_site
 from .variants import N_VARIANTS, VARIANTS, Variant, apply_variant_text
 
 __all__ = [
     "LocatedIf",
     "N_VARIANTS",
     "PatchSynthesizer",
+    "RepairSite",
     "SyntheticPatch",
     "VARIANTS",
     "Variant",
     "apply_variant_text",
+    "find_repair_sites",
     "locate_ifs",
+    "repair_all",
+    "repair_site",
     "synthesize_from_texts",
     "touched_lines",
 ]

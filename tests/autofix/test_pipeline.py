@@ -1,0 +1,155 @@
+"""Tests for the closed find→patch→verify loop on hand-built sources."""
+
+import json
+
+import pytest
+
+from repro.autofix import (
+    DEFAULT_KINDS,
+    AutofixConfig,
+    AutofixOracle,
+    AutofixReport,
+    FlawPlant,
+    run_autofix,
+)
+from repro.errors import AutofixError
+from repro.obs import ObsRegistry
+
+HOST = """\
+int clamp(int v, int lo, int hi) {
+    int out = v;
+    if (v < lo) {
+        out = lo;
+    }
+    if (v > hi) {
+        out = hi;
+    }
+    return out;
+}
+"""
+
+
+def _items(n: int) -> list[tuple[str, str]]:
+    # Distinct paths so plant suffixes/oracle streams differ per file.
+    return [(f"repo/src/file_{i:02d}.c", HOST) for i in range(n)]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("kind", DEFAULT_KINDS)
+    def test_every_kind_round_trips_on_the_host(self, kind):
+        report = run_autofix(_items(1), AutofixConfig(kinds=(kind,)))
+        (outcome,) = report.outcomes
+        assert outcome.planted, kind
+        assert outcome.found, kind
+        assert outcome.accepted, kind
+        assert all(outcome.gates.values())
+        assert outcome.diff and not outcome.crashed
+        assert outcome.false_positives == ()
+
+    def test_kinds_cycle_over_sorted_paths(self):
+        kinds = ("dangerous-api", "variant:1")
+        report = run_autofix(_items(4), AutofixConfig(kinds=kinds))
+        assert [o.plant.kind for o in report.outcomes] == [
+            "dangerous-api", "variant:1", "dangerous-api", "variant:1",
+        ]
+
+    def test_unplantable_file_contributes_nothing(self):
+        report = run_autofix(
+            [("repo/empty.c", "int x = 3;\n")], AutofixConfig(kinds=("dangerous-api",))
+        )
+        (outcome,) = report.outcomes
+        assert not outcome.planted
+        assert report.plants_applied == 0
+        assert report.repair_rate == 0.0
+
+    def test_counters(self):
+        obs = ObsRegistry()
+        report = run_autofix(_items(3), AutofixConfig(kinds=("missing-check",)), obs=obs)
+        assert obs.count("autofix_plants") == report.plants_applied == 3
+        assert obs.count("autofix_found") == report.found == 3
+        assert obs.count("autofix_accepted") == report.accepted == 3
+        assert obs.count("autofix_crashes") == 0
+
+
+class TestParallelParity:
+    def test_manifest_and_counters_bit_identical(self):
+        obs_serial, obs_pool = ObsRegistry(), ObsRegistry()
+        serial = run_autofix(_items(8), workers=1, obs=obs_serial)
+        pooled = run_autofix(_items(8), workers=2, obs=obs_pool)
+        assert serial.to_json() == pooled.to_json()
+        names = ("autofix_plants", "autofix_found", "autofix_accepted", "autofix_crashes")
+        assert [obs_serial.count(n) for n in names] == [obs_pool.count(n) for n in names]
+
+    def test_unsorted_input_is_normalized(self):
+        items = _items(4)
+        forward = run_autofix(items)
+        backward = run_autofix(list(reversed(items)))
+        assert forward.to_json() == backward.to_json()
+
+
+class TestConfig:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(AutofixError, match="unknown plant kind"):
+            run_autofix(_items(1), AutofixConfig(kinds=("no-such-checker",)))
+
+    def test_out_of_range_variant_rejected(self):
+        with pytest.raises(AutofixError, match="unknown plant kind"):
+            AutofixConfig(kinds=("variant:9",)).validate()
+
+    def test_even_panel_rejected(self):
+        with pytest.raises(AutofixError, match="odd"):
+            AutofixConfig(n_annotators=2).validate()
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(AutofixError, match="at least one"):
+            AutofixConfig(kinds=()).validate()
+
+
+class TestOracle:
+    def _plant(self, path="a.c"):
+        return FlawPlant(
+            path=path, kind="dangerous-api", checker="dangerous-api",
+            insert_line=1, n_lines=1, span_start=2, span_end=2, marker="seed_dst",
+        )
+
+    def test_exact_panel_reads_the_marker(self):
+        oracle = AutofixOracle()
+        assert oracle.is_vulnerable("x = seed_dst;", self._plant())
+        assert not oracle.is_vulnerable("x = 0;", self._plant())
+
+    def test_noisy_panel_is_order_independent(self):
+        oracle = AutofixOracle(n_annotators=5, annotator_error_rate=0.4, seed=7)
+        plants = [self._plant(f"p{i}.c") for i in range(20)]
+        forward = [oracle.is_vulnerable("seed_dst", p) for p in plants]
+        backward = [oracle.is_vulnerable("seed_dst", p) for p in reversed(plants)]
+        assert forward == backward[::-1]
+
+
+class TestManifest:
+    def test_json_round_trip(self):
+        report = run_autofix(_items(2))
+        again = AutofixReport.from_json(report.to_json())
+        assert again.to_json() == report.to_json()
+
+    def test_timings_stay_out_of_the_manifest(self):
+        report = run_autofix(_items(1))
+        assert "elapsed_ms" not in json.loads(report.to_json())["outcomes"][0]
+        assert "elapsed_ms" in report.outcomes[0].to_dict(include_timings=True)
+        assert report.outcomes[0].elapsed_ms > 0.0
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(AutofixError, match="manifest"):
+            AutofixReport.from_json("{}")
+        with pytest.raises(AutofixError, match="JSON"):
+            AutofixReport.from_json("not json")
+
+    def test_render_text_has_the_headline(self):
+        report = run_autofix(_items(2))
+        text = report.render_text()
+        assert "verified repairs" in text and "P=" in text
+
+    def test_finder_scores_shape(self):
+        report = run_autofix(_items(2), AutofixConfig(kinds=("alloc-free",)))
+        scores = report.finder_scores()
+        assert scores["alloc-free"]["tp"] == 2
+        assert scores["alloc-free"]["precision"] == 1.0

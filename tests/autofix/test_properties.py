@@ -1,0 +1,131 @@
+"""Property-based invariants of the verifier.
+
+Two promises an accepted repair makes, checked over generated hosts:
+it never introduces a checker finding the pre-plant original did not
+have, and it never changes the CFG signature of any function other than
+the one hosting the plant.  Both are enforced by verifier gates; these
+tests re-derive them from the accepted candidate text itself, so a gate
+that rots (or a candidate generator that sidesteps one) fails here.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.autofix import DEFAULT_KINDS, AutofixConfig, AutofixOracle
+from repro.autofix.pipeline import _candidates, _plant, _verify
+from repro.staticcheck import analyze_source, cfg_signature, make_checkers
+from repro.staticcheck.model import LintReport, shifted_finding_ids
+
+CONDS = ("v < lo", "v > hi", "v == lo", "v != hi", "v + lo > hi")
+BYSTANDER = """\
+int bystander_%d(int k) {
+    int acc = k;
+    if (k > %d) {
+        acc = acc - 1;
+    }
+    return acc;
+}
+"""
+
+
+def _host(cond: str, n_bystanders: int, body_stmts: int) -> str:
+    body = "".join(f"    out = out + {i};\n" for i in range(body_stmts))
+    host = (
+        "int host(int v, int lo, int hi) {\n"
+        "    int out = v;\n"
+        f"    if ({cond}) {{\n"
+        "        out = lo;\n"
+        "    }\n" + body + "    return out;\n"
+        "}\n"
+    )
+    return host + "".join(BYSTANDER % (i, i) for i in range(n_bystanders))
+
+
+@st.composite
+def plant_cases(draw):
+    cond = draw(st.sampled_from(CONDS))
+    n_bystanders = draw(st.integers(min_value=1, max_value=3))
+    body_stmts = draw(st.integers(min_value=0, max_value=3))
+    kind = draw(st.sampled_from(DEFAULT_KINDS))
+    return _host(cond, n_bystanders, body_stmts), kind
+
+
+def _accepted_candidate(source: str, kind: str) -> tuple[str, str] | None:
+    """Drive plant→find→patch→verify by hand; return (candidate, checker
+    baseline source) for the first accepted candidate, None otherwise."""
+    path = "prop/case.c"
+    pair = _plant(path, source, kind)
+    if pair is None:
+        return None
+    planted, plant = pair
+    checkers = make_checkers()
+    baseline = LintReport(files=[analyze_source(path, source, checkers)])
+    shifted = shifted_finding_ids(baseline, plant.insert_line, plant.n_lines)
+    hits = [
+        f
+        for f in analyze_source(path, planted, checkers).findings
+        if f.stable_id not in shifted
+        and f.checker == plant.checker
+        and plant.span_start <= f.line <= plant.span_end
+    ]
+    if not hits:
+        return None
+    original_sig = cfg_signature(source, path)
+    oracle = AutofixOracle()
+    from repro.autofix.pipeline import _dead_store_keys
+
+    original_dead = _dead_store_keys(source, path)
+    for candidate in _candidates(planted, plant, hits[0].line):
+        gates = _verify(
+            candidate, plant, checkers, original_sig,
+            baseline.finding_ids(), original_dead, oracle,
+        )
+        if all(gates.values()):
+            return candidate, path
+    return None
+
+
+class TestAcceptedRepairInvariants:
+    @given(case=plant_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_no_new_findings_ever(self, case):
+        source, kind = case
+        result = _accepted_candidate(source, kind)
+        assume(result is not None)
+        candidate, path = result
+        checkers = make_checkers()
+        baseline_ids = {
+            f.stable_id for f in analyze_source(path, source, checkers).findings
+        }
+        candidate_ids = {
+            f.stable_id for f in analyze_source(path, candidate, checkers).findings
+        }
+        assert candidate_ids <= baseline_ids
+
+    @given(case=plant_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_untouched_functions_keep_their_cfg(self, case):
+        source, kind = case
+        result = _accepted_candidate(source, kind)
+        assume(result is not None)
+        candidate, path = result
+        before = dict(cfg_signature(source, path))
+        after = dict(cfg_signature(candidate, path))
+        assert set(after) == set(before)
+        for name, sig in after.items():
+            if name != "host":
+                assert sig == before[name], name
+
+    @given(case=plant_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_pipeline_always_terminates_cleanly(self, case):
+        # The whole loop (via the public entry point) on a generated host:
+        # no crash, and any acceptance implies every gate held.
+        from repro.autofix import run_autofix
+
+        source, kind = case
+        report = run_autofix([("prop/case.c", source)], AutofixConfig(kinds=(kind,)))
+        (outcome,) = report.outcomes
+        assert not outcome.crashed
+        if outcome.accepted:
+            assert all(outcome.gates.values())

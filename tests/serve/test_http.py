@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -136,6 +137,45 @@ class TestClassifyEndpoint:
         with pytest.raises(urllib.error.HTTPError) as exc:
             _post(base_url, "/v1/other", "x")
         assert exc.value.code == 404
+
+
+class TestLintEndpoint:
+    def test_round_trip_matches_service_side(self, base_url, service, patch_text):
+        status, payload = _post(base_url, "/v1/lint", patch_text)
+        assert status == 200
+        inline = service.lint(patch_text)
+        assert payload == json.loads(json.dumps(inline))
+        assert payload["n_findings"] == len(payload["findings"])
+        for finding in payload["findings"]:
+            assert set(finding) >= {"id", "checker", "severity", "path", "line", "message"}
+
+    def test_empty_body_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(base_url, "/v1/lint", "")
+        assert exc.value.code == 400
+
+    def test_unparsable_body_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(base_url, "/v1/lint", "definitely not a patch")
+        assert exc.value.code == 400
+
+    def test_requests_counted_in_statsz(self, base_url, patch_text):
+        _, before = _get(base_url, "/statsz")
+        _post(base_url, "/v1/lint", patch_text)
+        _post(base_url, "/v1/lint", patch_text)
+        # http_lint is recorded after the response bytes go out, so poll
+        # briefly rather than race the handler thread.
+        deadline = time.monotonic() + 5.0
+        while True:
+            _, after = _get(base_url, "/statsz")
+            gains = {
+                name: after["counters"].get(name, 0) - before["counters"].get(name, 0)
+                for name in ("http_lint", "lint.request")
+            }
+            if all(g >= 2 for g in gains.values()) or time.monotonic() > deadline:
+                break
+            time.sleep(0.02)
+        assert all(g >= 2 for g in gains.values()), gains
 
 
 class TestPointLookups:

@@ -104,6 +104,36 @@ class TestClassify:
             service.classify("this is not a patch")
 
 
+class TestLint:
+    def test_shape_and_stable_ids(self, service, patch_text):
+        payload = service.lint(patch_text)
+        assert payload["n_findings"] == len(payload["findings"])
+        assert sum(payload["by_checker"].values()) == payload["n_findings"]
+        for finding in payload["findings"]:
+            assert len(finding["id"]) == 16
+
+    def test_is_deterministic(self, service, patch_text):
+        assert service.lint(patch_text) == service.lint(patch_text)
+
+    def test_needs_no_warm_model(self, experiment_world, patch_text):
+        from repro.analysis.experiments import build_patchdb
+
+        cold = PatchDBService(experiment_world, build_patchdb(experiment_world))
+        try:
+            assert cold.lint(patch_text)["n_findings"] >= 0
+        finally:
+            cold.close()
+
+    def test_unparsable_patch_rejected(self, service):
+        with pytest.raises(ReproError):
+            service.lint("this is not a patch")
+
+    def test_counters(self, service, patch_text):
+        before = service.obs.count("lint.request")
+        service.lint(patch_text)
+        assert service.obs.count("lint.request") == before + 1
+
+
 class TestBatcher:
     def test_batches_concurrent_rows(self):
         calls = []

@@ -1,0 +1,214 @@
+"""Tests for the per-function CFG + reaching-definitions/liveness layer."""
+
+import pytest
+
+from repro.lang.parser import parse_translation_unit
+from repro.staticcheck.dataflow import (
+    FunctionFlow,
+    build_cfg,
+    declared_names,
+    param_names,
+)
+
+
+def _flow(source: str) -> FunctionFlow:
+    unit = parse_translation_unit(source, "df.c")
+    assert unit.functions, "fixture must parse to at least one function"
+    return FunctionFlow(unit.functions[0])
+
+
+class TestCfg:
+    def test_straight_line_is_a_chain(self):
+        flow = _flow(
+            "int f(void) {\n"
+            "    int a = 1;\n"
+            "    a = a + 1;\n"
+            "    return a;\n"
+            "}\n"
+        )
+        cfg = flow.cfg
+        reachable = set(cfg.reachable())
+        assert cfg.entry in reachable and cfg.exit in reachable
+        # Every non-entry/exit atom of a straight-line body is reachable.
+        assert all(i in reachable for i in range(len(cfg.atoms)))
+
+    def test_code_after_return_is_unreachable(self):
+        flow = _flow(
+            "int f(void) {\n"
+            "    return 1;\n"
+            "    int dead = 2;\n"
+            "}\n"
+        )
+        cfg = flow.cfg
+        reachable = set(cfg.reachable())
+        dead = [i for i, a in enumerate(cfg.atoms) if "dead" in a.text]
+        assert dead and all(i not in reachable for i in dead)
+
+    def test_if_creates_a_branch(self):
+        flow = _flow(
+            "int f(int x) {\n"
+            "    if (x > 0) {\n"
+            "        x = 1;\n"
+            "    }\n"
+            "    return x;\n"
+            "}\n"
+        )
+        cond = [i for i, a in enumerate(flow.cfg.atoms) if a.kind == "cond"]
+        assert cond and len(flow.cfg.succs[cond[0]]) == 2
+
+    def test_build_cfg_matches_flow_cfg(self):
+        src = "int f(int x) {\n    return x;\n}\n"
+        unit = parse_translation_unit(src, "df.c")
+        cfg = build_cfg(unit.functions[0])
+        assert [a.kind for a in cfg.atoms] == [a.kind for a in _flow(src).cfg.atoms]
+
+
+class TestReachingDefinitions:
+    def test_const_definition_reaches_use(self):
+        flow = _flow(
+            "int f(void) {\n"
+            "    int idx = 3;\n"
+            "    return idx;\n"
+            "}\n"
+        )
+        defs = flow.reaching_for(3, "idx")
+        assert defs is not None
+        assert {d.kind for d in defs} == {"const"}
+
+    def test_reassignment_kills_the_first_definition(self):
+        flow = _flow(
+            "int f(int v) {\n"
+            "    int x = 1;\n"
+            "    x = v;\n"
+            "    return x;\n"
+            "}\n"
+        )
+        defs = flow.reaching_for(4, "x")
+        assert defs is not None
+        assert {d.kind for d in defs} == {"other"}
+
+    def test_branch_merges_both_definitions(self):
+        flow = _flow(
+            "int f(int v) {\n"
+            "    int x = 1;\n"
+            "    if (v) {\n"
+            "        x = v;\n"
+            "    }\n"
+            "    return x;\n"
+            "}\n"
+        )
+        defs = flow.reaching_for(6, "x")
+        assert defs is not None
+        assert {d.kind for d in defs} == {"const", "other"}
+
+    def test_parameter_definition_has_param_kind(self):
+        flow = _flow("int f(int v) {\n    return v;\n}\n")
+        defs = flow.reaching_for(2, "v")
+        assert defs is not None
+        assert {d.kind for d in defs} == {"param"}
+
+    def test_allocator_call_has_alloc_kind(self):
+        flow = _flow(
+            "int f(void) {\n"
+            "    char *p = malloc(8);\n"
+            "    return p != 0;\n"
+            "}\n"
+        )
+        defs = flow.reaching_for(3, "p")
+        assert defs is not None
+        assert {d.kind for d in defs} == {"alloc"}
+
+
+class TestDeclaredBefore:
+    def test_plain_order(self):
+        flow = _flow(
+            "int f(void) {\n"
+            "    int a = 1;\n"
+            "    return a;\n"
+            "}\n"
+        )
+        assert flow.declared_before(3, "a")
+        assert not flow.declared_before(2, "missing")
+
+    def test_goto_reordered_declaration_reaches_use(self):
+        # Line order says use-before-decl; control flow says otherwise.
+        flow = _flow(
+            "int f(void) {\n"
+            "    int r = 0;\n"
+            "    goto setup;\n"
+            "use:\n"
+            "    r = late + 1;\n"
+            "    goto done;\n"
+            "setup:\n"
+            "    int late = 4;\n"
+            "    goto use;\n"
+            "done:\n"
+            "    return r;\n"
+            "}\n"
+        )
+        assert flow.declared_before(5, "late")
+
+
+class TestDeadStores:
+    def test_overwritten_store_is_dead(self):
+        flow = _flow(
+            "int f(int v) {\n"
+            "    int x = 1;\n"
+            "    x = v;\n"
+            "    return x;\n"
+            "}\n"
+        )
+        assert [(d.var, d.line) for d in flow.dead_stores()] == [("x", 2)]
+
+    def test_used_store_is_live(self):
+        flow = _flow(
+            "int f(void) {\n"
+            "    int x = 1;\n"
+            "    return x;\n"
+            "}\n"
+        )
+        assert flow.dead_stores() == []
+
+    def test_address_taken_variable_is_exempt(self):
+        flow = _flow(
+            "int f(int v) {\n"
+            "    int x = 1;\n"
+            "    sink(&x);\n"
+            "    x = v;\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        assert all(d.var != "x" for d in flow.dead_stores())
+
+    def test_unreachable_store_not_reported(self):
+        flow = _flow(
+            "int f(void) {\n"
+            "    return 1;\n"
+            "    int dead = 2;\n"
+            "}\n"
+        )
+        assert flow.dead_stores() == []
+
+
+class TestHelpers:
+    @pytest.mark.parametrize(
+        ("decl", "names"),
+        [
+            ("int a = 1;", ["a"]),
+            ("char *p, *q;", ["p", "q"]),
+            ("unsigned long total;", ["total"]),
+        ],
+    )
+    def test_declared_names(self, decl, names):
+        assert declared_names(decl) == names
+
+    @pytest.mark.parametrize(
+        ("params", "names"),
+        [
+            ("int a, char *b", ["a", "b"]),
+            ("void", []),
+            ("", []),
+        ],
+    )
+    def test_param_names(self, params, names):
+        assert param_names(params) == names

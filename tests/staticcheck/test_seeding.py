@@ -5,11 +5,18 @@ import pytest
 from repro.errors import StaticCheckError
 from repro.staticcheck import (
     CHECKER_IDS,
+    DATAFLOW_FP_CHECKERS,
+    FP_OPAQUE_FIXTURE,
     SEEDABLE_CHECKERS,
     Severity,
     analyze_source,
+    inject_false_positive,
     inject_violation,
+    make_checkers,
+    plant_violation,
+    score_fixtures,
     seed_all,
+    seed_false_positives,
 )
 
 HOST = """\
@@ -39,6 +46,68 @@ class TestSeededRecall:
 
     def test_host_is_clean(self):
         assert analyze_source("host.c", HOST).findings == ()
+
+
+class TestFalsePositiveFixtures:
+    def test_lookalikes_cover_every_seedable_checker(self):
+        assert set(seed_false_positives(HOST)) == set(SEEDABLE_CHECKERS) | {"parse-coverage"}
+
+    @pytest.mark.parametrize("checker_id", DATAFLOW_FP_CHECKERS)
+    def test_heuristic_mode_trips_on_the_lookalike(self, checker_id):
+        # The lookalike is designed to fool the token/AST heuristic...
+        text = inject_false_positive(HOST, checker_id)
+        heuristic = analyze_source("fp.c", text, make_checkers(dataflow=False))
+        assert checker_id in {f.checker for f in heuristic.findings}
+
+    @pytest.mark.parametrize("checker_id", DATAFLOW_FP_CHECKERS)
+    def test_dataflow_mode_vetoes_the_lookalike(self, checker_id):
+        # ...and dataflow facts veto it.
+        text = inject_false_positive(HOST, checker_id)
+        dataflow = analyze_source("fp.c", text, make_checkers(dataflow=True))
+        assert checker_id not in {f.checker for f in dataflow.findings}
+
+    @pytest.mark.parametrize("checker_id", sorted(set(SEEDABLE_CHECKERS) - set(DATAFLOW_FP_CHECKERS)))
+    def test_other_lookalikes_are_clean_in_both_modes(self, checker_id):
+        text = inject_false_positive(HOST, checker_id)
+        for dataflow in (False, True):
+            report = analyze_source("fp.c", text, make_checkers(dataflow=dataflow))
+            assert checker_id not in {f.checker for f in report.findings}
+
+    def test_fp_opaque_fixture_stays_under_threshold(self):
+        report = analyze_source("fp.c", FP_OPAQUE_FIXTURE)
+        assert "parse-coverage" not in {f.checker for f in report.findings}
+
+
+class TestScoreFixtures:
+    def test_dataflow_strictly_improves_precision(self):
+        # The acceptance pin: on the new FP fixtures, dataflow mode beats
+        # the heuristic on precision for every upgraded checker, with
+        # recall preserved at 1.0 in both modes.
+        heuristic = score_fixtures(HOST, dataflow=False)
+        dataflow = score_fixtures(HOST, dataflow=True)
+        for checker_id in DATAFLOW_FP_CHECKERS:
+            assert heuristic[checker_id]["precision"] == 0.5
+            assert dataflow[checker_id]["precision"] == 1.0
+        for scores in (heuristic, dataflow):
+            for checker_id in SEEDABLE_CHECKERS:
+                assert scores[checker_id]["recall"] == 1.0, checker_id
+
+    def test_shape(self):
+        scores = score_fixtures(HOST)
+        assert set(scores) == set(SEEDABLE_CHECKERS)
+        for sc in scores.values():
+            assert set(sc) == {"tp", "fp", "fn", "precision", "recall"}
+
+
+class TestPlantViolation:
+    def test_reports_insertion_window(self):
+        text, insert_at, added = plant_violation(HOST, "dangerous-api")
+        assert text.splitlines()[insert_at:insert_at + added] != HOST.splitlines()[insert_at:insert_at + added]
+        assert inject_violation(HOST, "dangerous-api") == text
+
+    def test_unknown_checker_rejected(self):
+        with pytest.raises(StaticCheckError, match="payload"):
+            plant_violation(HOST, "parse-coverage")
 
 
 class TestSeedingApi:

@@ -1,0 +1,110 @@
+"""Tests for the Fig. 5 inversion path: find scaffold sites, repair them."""
+
+import pytest
+
+from repro.lang.ast_nodes import IfStmt, walk
+from repro.lang.parser import parse_translation_unit
+from repro.staticcheck.equivalence import cfg_signature, descaffolded_signature
+from repro.synthesis import VARIANTS, apply_variant_text, find_repair_sites, repair_all, repair_site
+
+SRC = """\
+int clamp(int v, int lo, int hi) {
+    int out = v;
+    if (v < lo) {
+        out = lo;
+    }
+    if (v > hi) {
+        out = hi;
+    }
+    return out;
+}
+"""
+
+
+def _first_if(source: str):
+    """The payload if: prefer the one whose condition already carries
+    scaffolding (stacking rewrites the same logical condition again)."""
+    unit = parse_translation_unit(source, "fix.c")
+    lines = source.splitlines()
+    candidates = []
+    for fn in unit.functions:
+        for node in walk(fn):
+            if isinstance(node, IfStmt) and (
+                node.cond_open_line == node.cond_close_line == node.start_line
+            ):
+                cond = lines[node.start_line - 1][node.cond_open_col : node.cond_close_col]
+                candidates.append((node, cond))
+    for node, cond in candidates:
+        if "_SYS_" in cond:
+            return node
+    if candidates:
+        return candidates[0][0]
+    raise AssertionError("fixture has no single-line if header")
+
+
+def _scaffold(source: str, variant, suffix: str) -> str:
+    node = _first_if(source)
+    return apply_variant_text(
+        source,
+        variant,
+        (node.cond_open_line, node.cond_open_col),
+        (node.cond_close_line, node.cond_close_col),
+        node.start_line,
+        suffix,
+    )
+
+
+class TestFindRepairSites:
+    def test_clean_source_has_no_sites(self):
+        assert find_repair_sites(SRC, "fix.c") == []
+
+    @pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: f"v{v.variant_id}")
+    def test_each_variant_produces_one_site(self, variant):
+        scaffolded = _scaffold(SRC, variant, "aa11")
+        sites = find_repair_sites(scaffolded, "fix.c")
+        assert len(sites) == 1
+        assert sites[0].restored_cond.replace(" ", "") == "v<lo"
+
+
+class TestRepairInvertsVariants:
+    @pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: f"v{v.variant_id}")
+    def test_single_variant_round_trips(self, variant):
+        scaffolded = _scaffold(SRC, variant, "aa11")
+        repaired, n = repair_all(scaffolded, "fix.c")
+        assert n == 1
+        assert "_SYS_" not in repaired
+        assert cfg_signature(repaired, "fix.c") == cfg_signature(SRC, "fix.c")
+
+    @pytest.mark.parametrize("outer", VARIANTS, ids=lambda v: f"outer{v.variant_id}")
+    @pytest.mark.parametrize("inner", VARIANTS, ids=lambda v: f"inner{v.variant_id}")
+    def test_stacked_variants_round_trip(self, outer, inner):
+        # Apply one variant, then another over the rewritten header: the
+        # repair loop must peel both layers without touching live names.
+        once = _scaffold(SRC, inner, "aa11")
+        twice = _scaffold(once, outer, "bb22")
+        repaired, n = repair_all(twice, "fix.c")
+        assert n >= 1
+        assert "_SYS_" not in repaired
+        assert cfg_signature(repaired, "fix.c") == cfg_signature(SRC, "fix.c")
+
+    def test_repair_matches_descaffolded_signature(self):
+        scaffolded = _scaffold(SRC, VARIANTS[4], "aa11")
+        repaired, _ = repair_all(scaffolded, "fix.c")
+        assert cfg_signature(repaired, "fix.c") == descaffolded_signature(scaffolded, "fix.c")
+
+
+class TestRepairApi:
+    def test_repair_all_on_clean_source_is_identity(self):
+        assert repair_all(SRC, "fix.c") == (SRC, 0)
+
+    def test_repair_site_removes_only_that_site(self):
+        scaffolded = _scaffold(SRC, VARIANTS[0], "aa11")
+        sites = find_repair_sites(scaffolded, "fix.c")
+        rewritten = repair_site(scaffolded, sites[0])
+        assert find_repair_sites(rewritten, "fix.c") == []
+        assert "_SYS_" not in rewritten
+
+    def test_second_if_survives_repair(self):
+        scaffolded = _scaffold(SRC, VARIANTS[2], "aa11")
+        repaired, _ = repair_all(scaffolded, "fix.c")
+        assert "v > hi" in repaired

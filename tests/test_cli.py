@@ -51,6 +51,7 @@ class TestParser:
             "categorize",
             "synthesize",
             "lint",
+            "autofix",
             "trace",
             "serve",
             "bench-serve",
@@ -61,7 +62,7 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args([cmd, "--help"])
 
-    @pytest.mark.parametrize("cmd", ["build", "augment", "evaluate", "lint", "serve"])
+    @pytest.mark.parametrize("cmd", ["build", "augment", "evaluate", "lint", "serve", "autofix"])
     def test_world_flags_shared_across_subcommands(self, cmd):
         """Every world-building subcommand accepts the shared parent flags."""
         argv = [cmd, "--scale", "tiny", "--seed", "7", "--workers", "2"]
@@ -418,3 +419,103 @@ class TestLint:
         payload = json.loads(capsys.readouterr().out)
         assert payload["gate"]["passed"] is True
         assert payload["gate"]["variant_failures"] == 0
+
+    def test_baseline_suppresses_known_findings(self, dirty_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    dirty_file,
+                    "--fail-on",
+                    "never",
+                    "--format",
+                    "json",
+                    "--output",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # With every current finding recorded, the gate-class leak no
+        # longer fails the run and the report is clean.
+        assert main(["lint", dirty_file, "--baseline", str(baseline)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_baseline_does_not_mask_new_findings(self, dirty_file, tmp_path, capsys):
+        from pathlib import Path
+
+        baseline = tmp_path / "baseline.json"
+        main(["lint", dirty_file, "--fail-on", "never", "--format", "json",
+              "--output", str(baseline)])
+        capsys.readouterr()
+        # A new gate-class violation after the baseline was recorded.
+        text = Path(dirty_file).read_text()
+        Path(dirty_file).write_text(text.replace("{\n", "{\n    int _SYS_fresh = 1;\n", 1))
+        assert main(["lint", dirty_file, "--baseline", str(baseline)]) == 1
+        assert "_SYS_fresh" in capsys.readouterr().out
+
+    def test_missing_baseline_errors_cleanly(self, dirty_file, tmp_path, capsys):
+        code = main(["lint", dirty_file, "--baseline", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAutofix:
+    @pytest.fixture(scope="class")
+    def cache_dir(self, tmp_path_factory):
+        # One TINY world shared by every test in the class.
+        return str(tmp_path_factory.mktemp("world-cache"))
+
+    def _run(self, cache_dir, *extra):
+        return main(
+            ["autofix", "--scale", "tiny", "--world-cache", cache_dir,
+             "--max-files", "10", *extra]
+        )
+
+    def test_round_trip_with_report_and_artifacts(self, cache_dir, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "autofix-report.json"
+        artifacts = tmp_path / "artifacts"
+        code = self._run(
+            cache_dir,
+            "--fail-under", "0.9",
+            "--report", str(report_path),
+            "--artifacts", str(artifacts),
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified repairs" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["format"] == "repro-autofix-manifest-v1"
+        assert payload["summary"]["verifier_crashes"] == 0
+        assert payload["summary"]["repair_rate"] >= 0.9
+        per_patch = sorted(artifacts.glob("autofix-*.json"))
+        assert len(per_patch) == payload["summary"]["plants_applied"]
+        one = json.loads(per_patch[0].read_text())
+        assert "elapsed_ms" in one and "diff" in one
+
+    def test_fail_under_breach_exits_nonzero(self, cache_dir, capsys):
+        code = self._run(cache_dir, "--kinds", "dangerous-api", "--fail-under", "1.1")
+        assert code == 1
+        assert "below" in capsys.readouterr().err
+
+    def test_unknown_kind_exits_2(self, cache_dir, capsys):
+        code = self._run(cache_dir, "--kinds", "bogus")
+        assert code == 2
+        assert "unknown plant kind" in capsys.readouterr().err
+
+    def test_stats_json_carries_the_loop_counters(self, cache_dir, tmp_path, capsys):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        code = self._run(cache_dir, "--stats-json", str(stats_path))
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(stats_path.read_text())
+        assert payload["counters"]["autofix_plants"] == 10
+        assert payload["counters"]["autofix_accepted"] >= 9
+        assert payload["manifest"]["command"] == "autofix"
+        assert payload["manifest"]["repair_rate"] >= 0.9
