@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Telemetry well-formedness gate: the CI ``serve-smoke`` second stage.
+
+Spins the service up in-process over the cached world (same artifact the
+load benchmark uses), then asserts the observable telemetry contract:
+
+* every response — success, 4xx, and streams — carries an
+  ``X-Repro-Trace-Id`` header, and a caller-provided well-formed id is
+  echoed back verbatim (lowercased);
+* ``/metrics`` parses under the Prometheus text grammar
+  (:func:`repro.serve.parse_exposition`), with monotone cumulative
+  buckets and ``+Inf`` == ``_count`` per endpoint, and its counters are
+  consistent with a ``/statsz`` read taken afterwards;
+* ``/v1/traces`` parses as ``repro-run-manifest-v1``
+  (:func:`repro.trace.parse_trace`) and a classify request's sampled
+  trace contains the nested pipeline spans down to the batcher's
+  ``model.predict``.
+
+Exit code is the gate: non-zero on the first violated check.
+
+::
+
+    python benchmarks/check_telemetry.py            # SMALL world from .cache
+    REPRO_BENCH_SCALE=tiny python benchmarks/check_telemetry.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+
+from repro.serve import TRACE_HEADER, make_server, parse_exposition  # noqa: E402
+from repro.trace import parse_trace  # noqa: E402
+
+_FAILURES: list[str] = []
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    mark = "ok" if ok else "FAIL"
+    print(f"  [{mark}] {label}" + (f" — {detail}" if detail and not ok else ""))
+    if not ok:
+        _FAILURES.append(label)
+
+
+def _get(base: str, path: str, headers: dict | None = None):
+    req = urllib.request.Request(base + path, headers=headers or {})
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, dict(resp.headers), resp.read().decode("utf-8")
+
+
+def _service():
+    from repro.analysis.experiments import MEDIUM, SMALL, TINY, ExperimentWorld, build_patchdb
+    from repro.ml.model_cache import FittedModelCache
+    from repro.obs import ObsRegistry
+    from repro.serve import PatchDBService, ServeTelemetry
+
+    scales = {"tiny": TINY, "small": SMALL, "medium": MEDIUM}
+    scale = scales[os.environ.get("REPRO_BENCH_SCALE", "small")]
+    obs = ObsRegistry()
+    ew = ExperimentWorld.cached(
+        scale, cache_dir=os.path.join(_HERE, ".cache"), workers=4, obs=obs
+    )
+    db = build_patchdb(ew)
+    models = FittedModelCache(
+        persist_path=os.path.join(_HERE, ".cache", "serve-models.pkl"), obs=obs
+    )
+    service = PatchDBService(ew, db, model_cache=models, obs=obs, telemetry=ServeTelemetry())
+    service.warm()
+    return service, db
+
+
+def main() -> int:
+    service, db = _service()
+    server = make_server(service, host="127.0.0.1", port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    sample = db.records()[0]
+    patch_text = db.record_mbox(sample)
+
+    try:
+        print("trace header round-trips:")
+        _, headers, _ = _get(base, "/healthz")
+        generated = headers.get(TRACE_HEADER, "")
+        check("/healthz carries a generated trace id", len(generated) == 32, generated)
+        wanted = "cafebabe-1234-5678-9abc-def012345678"
+        _, headers, _ = _get(base, "/healthz", {TRACE_HEADER: wanted.upper()})
+        check("well-formed caller id echoed back", headers.get(TRACE_HEADER) == wanted)
+        try:
+            _get(base, "/v1/definitely-not-a-route")
+            check("404 carries a trace id", False, "expected HTTP 404")
+        except urllib.error.HTTPError as exc:
+            check(
+                "404 carries a trace id",
+                exc.code == 404 and bool(exc.headers.get(TRACE_HEADER)),
+            )
+
+        print("/metrics exposition:")
+        _, headers, text = _get(base, "/metrics")
+        check(
+            "content type is text exposition",
+            headers.get("Content-Type", "").startswith("text/plain"),
+            headers.get("Content-Type", ""),
+        )
+        try:
+            samples = parse_exposition(text)
+            check("exposition parses", True)
+        except ValueError as exc:
+            samples = {}
+            check("exposition parses", False, str(exc))
+        if samples:
+            counts = {
+                l["endpoint"]: v
+                for l, v in samples.get("repro_http_request_duration_seconds_count", [])
+            }
+            series: dict[str, list[float]] = {}
+            for labels, value in samples.get(
+                "repro_http_request_duration_seconds_bucket", []
+            ):
+                series.setdefault(labels["endpoint"], []).append(value)
+            check("latency histograms present", bool(series))
+            monotone = all(vs == sorted(vs) for vs in series.values())
+            check("bucket counts monotone", monotone)
+            inf_matches = all(vs[-1] == counts.get(ep) for ep, vs in series.items())
+            check("+Inf bucket equals _count", inf_matches)
+            _, _, stats_body = _get(base, "/statsz")
+            stats = json.loads(stats_body)
+            by_name = {l["name"]: v for l, v in samples.get("repro_counter_total", [])}
+            consistent = all(
+                stats["counters"].get(name, 0) >= value
+                for name, value in by_name.items()
+                if name.startswith("http_")
+            )
+            check("counters consistent with /statsz", consistent)
+
+        print("/v1/traces export:")
+        req = urllib.request.Request(
+            f"{base}/v1/classify", data=patch_text.encode("utf-8"), method="POST"
+        )
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            classify_trace = resp.headers.get(TRACE_HEADER, "")
+        check("classify response carries a trace id", bool(classify_trace))
+        _, _, trace_body = _get(base, f"/v1/traces?trace_id={classify_trace}")
+        try:
+            parsed = parse_trace(trace_body, origin=f"{base}/v1/traces")
+            check("trace JSONL parses as repro-run-manifest-v1", True)
+        except Exception as exc:  # noqa: BLE001 - the gate reports, not raises
+            parsed = None
+            check("trace JSONL parses as repro-run-manifest-v1", False, str(exc))
+        if parsed is not None:
+            check("classify trace sampled", len(parsed.roots) == 1)
+
+            def names(node, acc):
+                acc.add(node.name)
+                for child in node.children:
+                    names(child, acc)
+                return acc
+
+            seen = set()
+            for root in parsed.roots:
+                names(root, seen)
+            needed = {
+                "http.classify",
+                "service.classify",
+                "patch.parse",
+                "features.extract",
+                "model.predict",
+            }
+            check(
+                "nested pipeline spans present",
+                needed <= seen,
+                f"missing {sorted(needed - seen)}",
+            )
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    if _FAILURES:
+        print(f"\ntelemetry gate FAILED: {len(_FAILURES)} check(s): {_FAILURES}")
+        return 1
+    print("\ntelemetry gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -148,7 +148,7 @@ class ExperimentWorld:
     #: (world bytes and digests changed once), build_stats on World, and
     #: patch caches dropped from pickles.
     #: Rev 6: dataflow-mode checkers change lint deltas cached on worlds.
-    _CACHE_REV = 6
+    _CACHE_REV = 7
 
     def __init__(
         self,

@@ -503,10 +503,16 @@ def _cmd_autofix(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from .trace import load_trace, render_span_tree, render_top_phases
+    from .trace import fetch_trace, load_trace, render_span_tree, render_top_phases
 
     try:
-        trace = load_trace(args.trace_file)
+        if args.url:
+            trace = fetch_trace(args.url)
+        elif args.trace_file:
+            trace = load_trace(args.trace_file)
+        else:
+            print("error: give a trace JSONL file or --url", file=sys.stderr)
+            return 2
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -532,7 +538,7 @@ def _make_service(args: argparse.Namespace, obs: ObsRegistry):
     """
     from .analysis.experiments import build_patchdb as _build_patchdb
     from .ml.model_cache import FittedModelCache
-    from .serve import PatchDBService
+    from .serve import PatchDBService, ServeTelemetry
 
     ew = _experiment_world(args, obs, feature_cache=args.feature_cache)
     if args.patchdb:
@@ -550,6 +556,11 @@ def _make_service(args: argparse.Namespace, obs: ObsRegistry):
         obs=obs,
         max_batch=args.max_batch,
         batch_wait_s=args.batch_wait_ms / 1000.0,
+        telemetry=ServeTelemetry(
+            enabled=not args.no_telemetry,
+            trace_tail=args.trace_store,
+            slow_threshold_s=args.slow_ms / 1000.0,
+        ),
     )
     info = service.warm()
     source = "cache hit" if info["cached"] else "cold fit"
@@ -594,6 +605,90 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_serve_overhead(args: argparse.Namespace, obs: ObsRegistry) -> int:
+    """The ``bench-serve --overhead`` mode: paired telemetry on/off load.
+
+    Builds the world + dataset once, then repeatedly stands the service up
+    with telemetry enabled and disabled (the model cache makes each warm a
+    no-op) and drives the same endpoint mix against both.  Writes
+    ``BENCH_serve_obs.json`` and fails when the median paired ratio
+    exceeds ``--overhead-gate``.
+    """
+    import threading
+
+    from .serve import PatchDBService, ServeTelemetry, make_server
+    from .serve.bench import run_overhead
+
+    if args.url:
+        print("FAIL: --overhead measures an in-process server; omit --url", file=sys.stderr)
+        return 1
+    with obs.span("cli.bench_serve_overhead", scale=args.scale, seed=args.seed):
+        seed_service = _make_service(args, obs)
+    seed_service.close()
+    ew, db, models = seed_service.ew, seed_service.db, seed_service.models
+
+    def factory(enabled: bool):
+        svc = PatchDBService(
+            ew,
+            db,
+            model_cache=models,
+            obs=obs,
+            max_batch=args.max_batch,
+            batch_wait_s=args.batch_wait_ms / 1000.0,
+            telemetry=ServeTelemetry(
+                enabled=enabled,
+                trace_tail=args.trace_store,
+                slow_threshold_s=args.slow_ms / 1000.0,
+            ),
+        )
+        svc.warm()  # model-cache hit: no training
+        server = make_server(svc, "127.0.0.1", 0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+
+        def cleanup() -> None:
+            server.shutdown()
+            server.server_close()
+            svc.close()
+
+        return base, cleanup
+
+    print(
+        f"measuring telemetry overhead ({args.overhead_reps} paired reps, "
+        f"{args.duration}s x {args.concurrency} clients per endpoint)",
+        file=sys.stderr,
+    )
+    payload = run_overhead(
+        factory,
+        reps=args.overhead_reps,
+        duration_s=args.duration,
+        concurrency=args.concurrency,
+    )
+    payload["created_unix"] = time.time()
+    payload["meta"] = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "records": len(db),
+        "gate": args.overhead_gate,
+    }
+    out = Path(args.output if args.output != "BENCH_serve.json" else "BENCH_serve_obs.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(
+        f"telemetry overhead: {payload['overhead'] * 100:+.2f}% "
+        f"(median ratio {payload['median_ratio']:.4f} over {len(payload['ratios'])} pairs)"
+    )
+    print(f"wrote {out}", file=sys.stderr)
+    if payload["overhead"] > args.overhead_gate:
+        print(
+            f"FAIL: telemetry overhead {payload['overhead']:.4f} exceeds "
+            f"gate {args.overhead_gate}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     import threading
 
@@ -602,6 +697,8 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 
     start = time.perf_counter()
     obs = ObsRegistry()
+    if args.overhead:
+        return _bench_serve_overhead(args, obs)
     service = server = None
     if args.url:
         base = args.url.rstrip("/")
@@ -739,6 +836,24 @@ def _serve_parent() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="how long classify waits to co-batch concurrent requests",
+    )
+    parent.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable request tracing and live metrics (the overhead baseline)",
+    )
+    parent.add_argument(
+        "--trace-store",
+        type=int,
+        default=256,
+        metavar="N",
+        help="tail ring size of the live trace store (/v1/traces)",
+    )
+    parent.add_argument(
+        "--slow-ms",
+        type=float,
+        default=250.0,
+        help="latency threshold for slow-request trace sampling",
     )
     return parent
 
@@ -944,12 +1059,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--output", default="BENCH_serve.json", metavar="JSON", help="results path"
     )
+    p_bench.add_argument(
+        "--overhead",
+        action="store_true",
+        help="measure tracing+metrics cost with paired telemetry on/off runs "
+        "and write BENCH_serve_obs.json instead of a plain load test",
+    )
+    p_bench.add_argument(
+        "--overhead-gate",
+        type=float,
+        default=0.03,
+        metavar="RATIO",
+        help="fail when the median paired overhead exceeds this (0.03 = 3%%)",
+    )
+    p_bench.add_argument(
+        "--overhead-reps",
+        type=int,
+        default=3,
+        metavar="N",
+        help="paired on/off repetitions in --overhead mode",
+    )
     p_bench.set_defaults(func=_cmd_bench_serve)
 
     p_trace = sub.add_parser(
         "trace", help="render an exported run trace (span tree + top phases)"
     )
-    p_trace.add_argument("trace_file", help="trace JSONL written by --trace")
+    p_trace.add_argument(
+        "trace_file", nargs="?", default=None, help="trace JSONL written by --trace"
+    )
+    p_trace.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="fetch live sampled request traces from a running server "
+        "(base URL or full /v1/traces endpoint) instead of reading a file",
+    )
     p_trace.add_argument(
         "--top", type=int, default=10, metavar="N", help="phases to list by total time"
     )

@@ -43,7 +43,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
-from ..obs import ObsRegistry
+from ..obs import ObsRegistry, trace_span
 from ..patch.gitformat import render_mbox_patch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -179,7 +179,10 @@ class PatchIndex:
         cached = self._memo.get(query, _MISS)
         if cached is not _MISS:
             return cached
-        out = self._plan(query)
+        with trace_span("index.lookup") as sp:
+            out = self._plan(query)
+            if sp is not None:
+                sp.attributes["rows"] = -1 if out is None else int(len(out))
         if len(self._memo) >= _MEMO_CAP:
             self._memo.clear()
         self._memo[query] = out
@@ -257,7 +260,8 @@ class RecordRenderCache:
         entry = self._entry(record)
         if entry[1] is None:
             self._count("render_cache.miss")
-            entry[1] = render_mbox_patch(record.patch)
+            with trace_span("render.record", kind="mbox"):
+                entry[1] = render_mbox_patch(record.patch)
         else:
             self._count("render_cache.hit")
         return entry[1]
@@ -268,9 +272,10 @@ class RecordRenderCache:
         entry = self._entry(record)
         if entry[2] is None:
             self._count("render_cache.miss")
-            if entry[1] is None:
-                entry[1] = render_mbox_patch(record.patch)
-            entry[2] = record.to_json(patch_text=entry[1])
+            with trace_span("render.record", kind="jsonl"):
+                if entry[1] is None:
+                    entry[1] = render_mbox_patch(record.patch)
+                entry[2] = record.to_json(patch_text=entry[1])
         else:
             self._count("render_cache.hit")
         return entry[2]

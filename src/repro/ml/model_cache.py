@@ -26,7 +26,7 @@ import pickle
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
-from ..obs import ObsRegistry
+from ..obs import ObsRegistry, trace_span
 
 __all__ = ["FittedModelCache", "training_key"]
 
@@ -116,10 +116,11 @@ class FittedModelCache:
     def get(self, key: str) -> Any | None:
         """The cached model for *key*, or ``None`` (counts a hit/miss)."""
         model = self._models.get(key)
-        if model is None:
-            self.obs.add("model_cache_misses")
-        else:
-            self.obs.add("model_cache_hits")
+        with trace_span("model_cache.get", hit=model is not None):
+            if model is None:
+                self.obs.add("model_cache_misses")
+            else:
+                self.obs.add("model_cache_hits")
         return model
 
     def put(self, key: str, model: Any) -> None:
@@ -137,7 +138,7 @@ class FittedModelCache:
             self.obs.add("model_cache_hits")
             return model
         self.obs.add("model_cache_misses")
-        with self.obs.timer("model_fit"):
+        with self.obs.timer("model_fit"), trace_span("model.fit", key=key[:16]):
             model = fit()
         self._models[key] = model
         return model

@@ -65,16 +65,39 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 import time
+import uuid
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
-__all__ = ["ObsRegistry", "ObsSnapshot", "SpanRecord", "histogram_stats"]
+__all__ = [
+    "ObsRegistry",
+    "ObsSnapshot",
+    "SpanRecord",
+    "TraceContext",
+    "activate_trace",
+    "current_trace",
+    "current_trace_site",
+    "deactivate_trace",
+    "histogram_stats",
+    "new_trace_id",
+    "trace_span",
+]
 
 #: Attribute value types that survive JSON round-trips unchanged.
 _ATTR_TYPES = (str, int, float, bool, type(None))
+
+
+def _clean_attributes(attributes: dict[str, Any]) -> dict[str, Any]:
+    """Coerce non-JSON-safe attribute values to their ``repr`` in place."""
+    for key, value in attributes.items():
+        if not isinstance(value, _ATTR_TYPES):
+            attributes[key] = repr(value)
+    return attributes
 
 
 @dataclass(slots=True)
@@ -124,6 +147,23 @@ class ObsSnapshot:
     counters: dict[str, int] = field(default_factory=dict)
     histograms: dict[str, list[float]] = field(default_factory=dict)
     spans: list[SpanRecord] = field(default_factory=list)
+    #: Exact per-histogram observation counts/sums.  Empty for unbounded
+    #: registries (there ``len``/``sum`` of the raw values are already
+    #: exact); bounded (windowed) registries ship these so merges preserve
+    #: true ``count``/``total`` even though old observations were evicted.
+    hist_counts: dict[str, int] = field(default_factory=dict)
+    hist_totals: dict[str, float] = field(default_factory=dict)
+    spans_dropped: int = 0
+
+    def exact_hist_count(self, name: str) -> int:
+        """True observation count for one histogram (eviction-proof)."""
+        n = self.hist_counts.get(name)
+        return n if n is not None else len(self.histograms.get(name, ()))
+
+    def exact_hist_total(self, name: str) -> float:
+        """True observation sum for one histogram (eviction-proof)."""
+        t = self.hist_totals.get(name)
+        return t if t is not None else sum(self.histograms.get(name, ()))
 
 
 def histogram_stats(values: list[float]) -> dict[str, float]:
@@ -158,25 +198,55 @@ class ObsRegistry:
         enabled: when False every recording primitive is a no-op that still
             runs its ``with`` body — the baseline the instrumentation
             overhead benchmark compares against.
+        hist_window: when set, each histogram keeps only the most recent
+            *hist_window* raw observations (a ring window for quantiles)
+            while exact running ``count``/``total`` are preserved — the
+            serve-mode bound that keeps week-long servers from leaking.
+            ``None`` (the default, batch-run mode) keeps every observation,
+            byte-identical to the pre-windowing behavior.
+        span_cap: when set, at most *span_cap* span nodes are retained;
+            further spans still time their bodies (the flat timer keeps
+            counting) but record no tree node, counted in
+            ``spans_dropped``.  ``None`` keeps every span.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        hist_window: int | None = None,
+        span_cap: int | None = None,
+    ) -> None:
         self.enabled = enabled
+        self._hist_window = hist_window
+        self._span_cap = span_cap
         self._timers: dict[str, float] = {}
         self._timer_calls: dict[str, int] = {}
         self._counters: dict[str, int] = {}
         self._hists: dict[str, list[float]] = {}
+        self._hist_counts: dict[str, int] = {}
+        self._hist_totals: dict[str, float] = {}
         self._spans: list[SpanRecord] = []
+        self._spans_dropped = 0
         self._stack: list[int] = []
         self._next_span = 1
         self._epoch = time.perf_counter()
 
     # ---- recording --------------------------------------------------------
 
+    def _observe_hist(self, name: str, value: float) -> None:
+        values = self._hists.setdefault(name, [])
+        values.append(value)
+        window = self._hist_window
+        if window is not None:
+            self._hist_counts[name] = self._hist_counts.get(name, 0) + 1
+            self._hist_totals[name] = self._hist_totals.get(name, 0.0) + value
+            if len(values) > window:
+                del values[: len(values) - window]
+
     def _record(self, name: str, elapsed: float) -> None:
         self._timers[name] = self._timers.get(name, 0.0) + elapsed
         self._timer_calls[name] = self._timer_calls.get(name, 0) + 1
-        self._hists.setdefault(name, []).append(elapsed)
+        self._observe_hist(name, elapsed)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -214,9 +284,17 @@ class ObsRegistry:
         if not self.enabled:
             yield None
             return
-        bad = [k for k, v in attributes.items() if not isinstance(v, _ATTR_TYPES)]
-        for key in bad:
-            attributes[key] = repr(attributes[key])
+        if self._span_cap is not None and len(self._spans) >= self._span_cap:
+            # Span budget exhausted (serve mode): keep the flat timing,
+            # drop the tree node so a long-running server stays bounded.
+            self._spans_dropped += 1
+            start = time.perf_counter()
+            try:
+                yield None
+            finally:
+                self._record(name, time.perf_counter() - start)
+            return
+        _clean_attributes(attributes)
         record = SpanRecord(
             span_id=self._next_span,
             parent_id=self._stack[-1] if self._stack else None,
@@ -246,7 +324,7 @@ class ObsRegistry:
         """Append one observation to histogram *name* (no timer bookkeeping)."""
         if not self.enabled:
             return
-        self._hists.setdefault(name, []).append(value)
+        self._observe_hist(name, value)
 
     # ---- read access ------------------------------------------------------
 
@@ -287,9 +365,40 @@ class ObsRegistry:
         """Value of one counter (0 if never incremented)."""
         return self._counters.get(name, 0)
 
+    def hist_count(self, name: str) -> int:
+        """Exact observation count of one histogram, eviction-proof."""
+        n = self._hist_counts.get(name)
+        return n if n is not None else len(self._hists.get(name, ()))
+
+    def hist_total(self, name: str) -> float:
+        """Exact observation sum of one histogram, eviction-proof."""
+        t = self._hist_totals.get(name)
+        return t if t is not None else sum(self._hists.get(name, ()))
+
+    @property
+    def spans_dropped(self) -> int:
+        """Spans discarded by the ``span_cap`` bound (0 when uncapped)."""
+        return self._spans_dropped
+
+    def _one_hist_stats(self, name: str, values: list[float]) -> dict[str, float]:
+        stats = histogram_stats(values)
+        if self._hist_window is not None and name in self._hist_counts:
+            # Quantiles come from the window; count/total/mean stay exact.
+            n = self._hist_counts[name]
+            total = self._hist_totals.get(name, 0.0)
+            stats["count"] = n
+            stats["total"] = total
+            stats["mean"] = total / n if n else 0.0
+        return stats
+
     def hist_stats(self) -> dict[str, dict[str, float]]:
-        """Summary stats (count/total/mean/p50/p95/max) per histogram."""
-        return {name: histogram_stats(values) for name, values in self._hists.items()}
+        """Summary stats (count/total/mean/p50/p95/max) per histogram.
+
+        For windowed registries the quantiles describe the retained window
+        while ``count``/``total``/``mean`` stay exact over every
+        observation ever made.
+        """
+        return {name: self._one_hist_stats(name, values) for name, values in self._hists.items()}
 
     def reset(self) -> None:
         """Zero every timer, counter, histogram, and span."""
@@ -297,7 +406,10 @@ class ObsRegistry:
         self._timer_calls.clear()
         self._counters.clear()
         self._hists.clear()
+        self._hist_counts.clear()
+        self._hist_totals.clear()
         self._spans.clear()
+        self._spans_dropped = 0
         self._stack.clear()
         self._next_span = 1
         self._epoch = time.perf_counter()
@@ -322,6 +434,9 @@ class ObsRegistry:
                 )
                 for s in self._spans
             ],
+            hist_counts=dict(self._hist_counts),
+            hist_totals=dict(self._hist_totals),
+            spans_dropped=self._spans_dropped,
         )
 
     def merge(self, other: "ObsSnapshot | ObsRegistry") -> None:
@@ -343,12 +458,27 @@ class ObsRegistry:
             self._timer_calls[name] = self._timer_calls.get(name, 0) + calls
         for name, value in snap.counters.items():
             self._counters[name] = self._counters.get(name, 0) + value
+        window = self._hist_window
         for name, values in snap.histograms.items():
-            self._hists.setdefault(name, []).extend(values)
+            target = self._hists.setdefault(name, [])
+            target.extend(values)
+            if window is not None:
+                self._hist_counts[name] = (
+                    self._hist_counts.get(name, 0) + snap.exact_hist_count(name)
+                )
+                self._hist_totals[name] = (
+                    self._hist_totals.get(name, 0.0) + snap.exact_hist_total(name)
+                )
+                if len(target) > window:
+                    del target[: len(target) - window]
+        self._spans_dropped += snap.spans_dropped
         if snap.spans:
             offset = self._next_span - 1
             graft_parent = self._stack[-1] if self._stack else None
             for s in snap.spans:
+                if self._span_cap is not None and len(self._spans) >= self._span_cap:
+                    self._spans_dropped += 1
+                    continue
                 self._spans.append(
                     SpanRecord(
                         span_id=s.span_id + offset,
@@ -371,14 +501,21 @@ class ObsRegistry:
         call counts machine-readable (they used to live only in
         :meth:`report`'s text).
         """
-        return {
+        out = {
             "format": "repro-obs-stats-v1",
             "timers": dict(sorted(self._timers.items())),
             "timer_calls": dict(sorted(self._timer_calls.items())),
             "counters": dict(sorted(self._counters.items())),
-            "histograms": {name: histogram_stats(v) for name, v in sorted(self._hists.items())},
+            "histograms": {
+                name: self._one_hist_stats(name, v) for name, v in sorted(self._hists.items())
+            },
             "n_spans": len(self._spans),
         }
+        if self._span_cap is not None or self._hist_window is not None:
+            # Only bounded (serve-mode) registries carry the drop counter;
+            # batch-run payloads stay byte-identical to the unbounded era.
+            out["spans_dropped"] = self._spans_dropped
+        return out
 
     def export_trace(self, path: str | Path, manifest: dict[str, Any] | None = None) -> Path:
         """Write the run as a JSONL trace file; returns the path.
@@ -423,3 +560,204 @@ class ObsRegistry:
             for name in sorted(self._counters):
                 lines.append(f"  {name:>28s}: {self._counters[name]}")
         return "\n".join(lines) if lines else "(no observations recorded)"
+
+
+# ---------------------------------------------------------------------------
+# Request-scoped tracing.
+#
+# A TraceContext is one request's private span tree: the HTTP layer creates
+# (or adopts, via the X-Repro-Trace-Id header) one per request, activates it
+# on the handler thread, and every instrumented layer underneath — the
+# service methods, the posting-list index, the render cache, the model
+# cache, the classify micro-batcher — attaches spans through the
+# module-level ``trace_span`` helper without any plumbing through call
+# signatures.  Propagation uses a ContextVar, so concurrent requests on
+# different handler threads never see each other's traces; the batcher
+# thread, which serves many traces at once, attaches spans explicitly via
+# ``TraceContext.add_span`` using the site captured at submit time.
+# ---------------------------------------------------------------------------
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id (uuid4, no dashes)."""
+    return uuid.uuid4().hex
+
+
+class TraceContext:
+    """One request's span tree, safe for cross-thread span attachment.
+
+    Unlike :class:`ObsRegistry` spans (one global tree per run), a
+    TraceContext is created per request, carries a ``trace_id``, and bounds
+    itself: at most *max_spans* spans are kept, further ones are counted in
+    :attr:`dropped`.  All mutation goes through one small lock, so a worker
+    thread (the classify batcher) can attach spans to a trace owned by a
+    handler thread.
+
+    Args:
+        trace_id: adopt this id (an ``X-Repro-Trace-Id`` header value);
+            ``None`` generates one.
+        max_spans: per-request span budget.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "max_spans",
+        "dropped",
+        "started_unix",
+        "_spans",
+        "_lock",
+        "_next",
+        "_epoch",
+    )
+
+    def __init__(self, trace_id: str | None = None, max_spans: int = 128) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.max_spans = max_spans
+        self.dropped = 0
+        self.started_unix = time.time()
+        self._spans: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._next = 1
+        self._epoch = time.perf_counter()
+
+    # ---- recording --------------------------------------------------------
+
+    def start_span(
+        self, name: str, parent_id: int | None = None, **attributes: Any
+    ) -> SpanRecord | None:
+        """Open a span; returns ``None`` when the span budget is exhausted."""
+        start = time.perf_counter() - self._epoch
+        _clean_attributes(attributes)
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+                return None
+            record = SpanRecord(
+                span_id=self._next,
+                parent_id=parent_id,
+                name=name,
+                attributes=attributes,
+                start=start,
+            )
+            self._next += 1
+            self._spans.append(record)
+        return record
+
+    def end_span(self, record: SpanRecord) -> None:
+        """Close an open span (sets its duration)."""
+        record.duration = time.perf_counter() - self._epoch - record.start
+
+    def add_span(
+        self,
+        name: str,
+        parent_id: int | None,
+        start_perf: float,
+        duration: float,
+        **attributes: Any,
+    ) -> SpanRecord | None:
+        """Attach an externally timed span (another thread's work).
+
+        *start_perf* is an absolute ``time.perf_counter()`` reading; it is
+        rebased onto this trace's epoch so the span lines up with the ones
+        the request thread recorded.
+        """
+        _clean_attributes(attributes)
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+                return None
+            record = SpanRecord(
+                span_id=self._next,
+                parent_id=parent_id,
+                name=name,
+                attributes=attributes,
+                start=start_perf - self._epoch,
+                duration=duration,
+            )
+            self._next += 1
+            self._spans.append(record)
+        return record
+
+    # ---- read access ------------------------------------------------------
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        """Recorded spans in allocation order (a shallow copy)."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def duration_s(self) -> float:
+        """Wall seconds from the trace epoch to the latest closed span end."""
+        with self._lock:
+            ends = [s.start + s.duration for s in self._spans if s.duration >= 0]
+        return max(ends) if ends else 0.0
+
+    def span_dicts(self, id_offset: int = 0) -> list[dict[str, Any]]:
+        """JSON-ready span records, ids shifted by *id_offset* and every
+        span stamped with this trace's id (the multi-trace export shape)."""
+        out = []
+        for s in self.spans:
+            d = s.to_dict()
+            d["id"] += id_offset
+            if d["parent"] is not None:
+                d["parent"] += id_offset
+            d["trace_id"] = self.trace_id
+            out.append(d)
+        return out
+
+
+#: The active (trace, parent span id) of the current execution context.
+_TRACE_STATE: ContextVar = ContextVar("repro_trace_state", default=None)
+
+
+def activate_trace(trace: TraceContext, parent_id: int | None = None):
+    """Make *trace* the ambient trace of this context; returns a token for
+    :func:`deactivate_trace`."""
+    return _TRACE_STATE.set((trace, parent_id))
+
+
+def deactivate_trace(token) -> None:
+    """Restore the trace state captured by :func:`activate_trace`."""
+    _TRACE_STATE.reset(token)
+
+
+def current_trace() -> TraceContext | None:
+    """The ambient trace of this execution context, if any."""
+    state = _TRACE_STATE.get()
+    return state[0] if state is not None else None
+
+
+def current_trace_site() -> "tuple[TraceContext, int | None] | None":
+    """The ambient ``(trace, active span id)`` pair — what a cross-thread
+    handoff (e.g. the classify batcher) captures at submit time."""
+    return _TRACE_STATE.get()
+
+
+@contextmanager
+def trace_span(name: str, **attributes: Any) -> Iterator[SpanRecord | None]:
+    """Open a span on the ambient trace for the ``with`` body.
+
+    A no-op (yielding ``None``) when no trace is active — hot paths like
+    the posting-list index call this unconditionally and only pay a
+    ContextVar read outside of traced requests — or when the trace's span
+    budget is spent.
+    """
+    state = _TRACE_STATE.get()
+    if state is None:
+        yield None
+        return
+    trace, parent = state
+    record = trace.start_span(name, parent, **attributes)
+    if record is None:
+        yield None
+        return
+    token = _TRACE_STATE.set((trace, record.span_id))
+    try:
+        yield record
+    finally:
+        _TRACE_STATE.reset(token)
+        trace.end_span(record)

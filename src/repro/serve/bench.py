@@ -28,6 +28,7 @@ __all__ = [
     "default_endpoints",
     "selective_endpoints",
     "run_load",
+    "run_overhead",
     "write_bench",
 ]
 
@@ -211,6 +212,75 @@ def run_load(
         result.duration_s = time.perf_counter() - start
         results.append(result)
     return results
+
+
+def run_overhead(
+    server_factory,
+    reps: int = 3,
+    duration_s: float = 1.0,
+    concurrency: int = 4,
+    endpoints: list[BenchEndpoint] | None = None,
+) -> dict:
+    """Paired telemetry-on/off load runs; the tracing+metrics cost as a ratio.
+
+    *server_factory* is called with ``enabled: bool`` and must return
+    ``(base_url, cleanup)`` for a server whose telemetry is on or off;
+    each of *reps* repetitions runs the same endpoint mix against both,
+    back to back, so machine drift hits both sides of every pair.  Which
+    mode goes first **alternates per rep** — whoever runs first in a pair
+    pays the colder OS/allocator state, so a fixed order would bias the
+    ratio — and each server gets a short discarded warm-up pass (render
+    cache, index memo, first-GC effects) before its measured window.  The
+    headline number is the **median of per-(endpoint, rep) mean-latency
+    ratios** — the same robust estimator the batch obs-overhead benchmark
+    uses — reported as ``overhead`` (ratio − 1; 0.01 = 1% slower with
+    telemetry on).
+
+    Returns the JSON-ready payload of ``BENCH_serve_obs.json``.
+    """
+    per_endpoint: dict[str, dict[str, list[float]]] = {}
+    for rep in range(max(1, reps)):
+        order = (("on_ms", True), ("off_ms", False))
+        if rep % 2:
+            order = tuple(reversed(order))
+        for mode, enabled in order:
+            base_url, cleanup = server_factory(enabled)
+            try:
+                eps = endpoints
+                if eps is None:
+                    eps = default_endpoints(sample_patch_text(base_url))
+                run_load(  # discarded warm-up pass
+                    base_url,
+                    eps,
+                    duration_s=min(0.25, duration_s),
+                    concurrency=concurrency,
+                )
+                results = run_load(
+                    base_url, eps, duration_s=duration_s, concurrency=concurrency
+                )
+            finally:
+                cleanup()
+            for r in results:
+                mean = sum(r.latencies_s) / len(r.latencies_s) if r.latencies_s else 0.0
+                slot = per_endpoint.setdefault(r.name, {"on_ms": [], "off_ms": []})
+                slot[mode].append(round(mean * 1e3, 4))
+    ratios = []
+    for name, slot in per_endpoint.items():
+        for on_ms, off_ms in zip(slot["on_ms"], slot["off_ms"]):
+            if on_ms > 0 and off_ms > 0:
+                ratios.append(round(on_ms / off_ms, 4))
+    ratios.sort()
+    median = ratios[len(ratios) // 2] if ratios else 1.0
+    return {
+        "format": "repro-bench-serve-obs-v1",
+        "reps": reps,
+        "duration_s": duration_s,
+        "concurrency": concurrency,
+        "per_endpoint": {name: per_endpoint[name] for name in sorted(per_endpoint)},
+        "ratios": ratios,
+        "median_ratio": median,
+        "overhead": round(median - 1.0, 4),
+    }
 
 
 def write_bench(

@@ -22,6 +22,16 @@ Three design points:
   through one :class:`ClassifyBatcher` worker that stacks their feature
   rows into a single ``predict_proba`` call — the per-row predictions are
   independent, so batched responses are bit-identical to serial ones.
+* **Lock-free live telemetry.**  Every per-request observation (HTTP
+  counters, latency histograms, dataset index/render-cache hits, lint and
+  batcher counters) routes through a :class:`~repro.serve.telemetry.ServeTelemetry`
+  shard router — one private registry per handler thread, merged on read —
+  so the hot path never takes a cross-thread lock and a week-long server
+  never grows its histograms.  Request traces (:class:`~repro.obs.TraceContext`)
+  thread from the HTTP handler through query/classify/lint down into the
+  index, render cache, model cache, and across the batcher's thread
+  handoff; finished traces land in a bounded store exportable as
+  ``repro-run-manifest-v1`` JSONL (``/v1/traces`` → ``python -m repro trace``).
 """
 
 from __future__ import annotations
@@ -44,9 +54,10 @@ from ..features.extractor import extract_features
 from ..features.vector import FEATURE_NAMES
 from ..ml import RandomForestClassifier
 from ..ml.model_cache import FittedModelCache, training_key
-from ..obs import ObsRegistry
+from ..obs import ObsRegistry, TraceContext, current_trace_site, trace_span
 from ..patch.gitformat import parse_patch
 from ..staticcheck import lint_patch
+from .telemetry import ServeTelemetry
 
 __all__ = ["ClassifyBatcher", "PatchDBService", "MODEL_CONFIG"]
 
@@ -100,11 +111,18 @@ class ClassifyBatcher:
         self._worker.start()
 
     def submit(self, row: np.ndarray) -> "Future[float]":
-        """Enqueue one feature row; the future resolves to its probability."""
+        """Enqueue one feature row; the future resolves to its probability.
+
+        The caller's active trace site (if any) is captured here and
+        carried across the thread handoff: the worker attaches a
+        ``model.predict`` span to each waiter's trace after the shared
+        batch call, so request traces show the prediction they waited on
+        even though it ran on the batcher thread.
+        """
         if self._closed:
             raise ReproError("ClassifyBatcher is closed")
         future: Future[float] = Future()
-        self._queue.put((row, future))
+        self._queue.put((row, future, current_trace_site()))
         return future
 
     def close(self) -> None:
@@ -143,15 +161,33 @@ class ClassifyBatcher:
             if stop:
                 return
 
-    def _process(self, batch: list[tuple[np.ndarray, "Future[float]"]]) -> None:
-        X = np.vstack([row for row, _ in batch])
+    def _process(
+        self, batch: list[tuple[np.ndarray, "Future[float]", tuple[TraceContext, str | None] | None]]
+    ) -> None:
+        X = np.vstack([row for row, _, _ in batch])
+        start = time.perf_counter()
         try:
             probs = self._predict(X)
         except Exception as exc:  # propagate the failure to every waiter
-            for _, future in batch:
+            for _, future, _ in batch:
                 future.set_exception(exc)
             return
-        for (_, future), p in zip(batch, probs):
+        duration = time.perf_counter() - start
+        # Stitch the shared model call into every waiting request's trace
+        # before resolving the futures, so a sampled trace read right after
+        # the response always contains its predict span.
+        for _, _, site in batch:
+            if site is not None:
+                trace, parent_id = site
+                trace.add_span(
+                    "model.predict",
+                    parent_id,
+                    start,
+                    duration,
+                    batch_size=len(batch),
+                    batched=True,
+                )
+        for (_, future, _), p in zip(batch, probs):
             future.set_result(float(p))
         with self._obs_lock:
             self.obs.add("classify_batches")
@@ -193,9 +229,15 @@ class PatchDBService:
         db: the PatchDB being served.
         model_cache: persisted fitted-model cache; a fresh in-memory one
             is created if omitted.
-        obs: registry every endpoint records into; defaults to ``ew.obs``.
+        obs: base registry (build-time history); defaults to ``ew.obs``.
+            Per-request observations go to the telemetry shard router, not
+            here — ``/statsz`` merges both.
         max_batch: classify micro-batch cap.
         batch_wait_s: classify co-batching window.
+        telemetry: live-telemetry bundle (shard router + trace store); a
+            default-configured one is created if omitted.  Pass
+            ``ServeTelemetry(enabled=False)`` for the zero-instrumentation
+            baseline of the overhead benchmark.
     """
 
     def __init__(
@@ -206,17 +248,22 @@ class PatchDBService:
         obs: ObsRegistry | None = None,
         max_batch: int = 64,
         batch_wait_s: float = 0.002,
+        telemetry: ServeTelemetry | None = None,
     ) -> None:
         self.ew = ew
         self.db = db
         self.obs = obs if obs is not None else ew.obs
-        # Dataset-level index/render-cache hits count into this service's
-        # registry, so they surface on /statsz alongside the HTTP counters.
-        db.rebind_obs(self.obs)
+        self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
+        # Every per-request write goes to the calling thread's private
+        # shard — lock-free — and is folded back in on /statsz//metrics
+        # reads.  Dataset index/render-cache hits, lint counters, and the
+        # batcher's stats all route through the same shards.
+        self._router = self.telemetry.router
+        db.rebind_obs(self._router)
         self.models = (
             model_cache if model_cache is not None else FittedModelCache(obs=self.obs)
         )
-        self.models.obs = self.obs
+        self.models.obs = self._router
         self._records: list[PatchRecord] = db.records()
         self._max_batch = max_batch
         self._batch_wait_s = batch_wait_s
@@ -273,7 +320,7 @@ class PatchDBService:
                 model.decision_scores,
                 max_batch=self._max_batch,
                 max_wait_s=self._batch_wait_s,
-                obs=self.obs,
+                obs=self._router,
             )
         return {
             "model_key": key,
@@ -303,16 +350,20 @@ class PatchDBService:
         posting-list index (O(smallest posting list), not O(N)); requested
         patch text is served from the render-once cache.
         """
-        with self.obs.timer("serve.query"):
-            total = self.db.count(query)
-            rows = [
-                _record_meta(
-                    r,
-                    include_patch,
-                    patch_text=self.db.record_mbox(r) if include_patch else None,
-                )
-                for r in self.db.records(query)
-            ]
+        with self._router.timer("serve.query"), trace_span(
+            "service.query", include_patch=include_patch
+        ):
+            with trace_span("query.count"):
+                total = self.db.count(query)
+            with trace_span("query.page"):
+                rows = [
+                    _record_meta(
+                        r,
+                        include_patch,
+                        patch_text=self.db.record_mbox(r) if include_patch else None,
+                    )
+                    for r in self.db.records(query)
+                ]
         return {
             "query": query.to_dict(),
             "total_matching": total,
@@ -351,15 +402,23 @@ class PatchDBService:
             model, batcher = self._model, self._batcher
         if model is None:
             raise ReproError("service is not warmed: no classify model loaded")
-        with self.obs.timer("serve.classify"):
-            patch = parse_patch(patch_text)
-            vec = extract_features(patch)
+        with self._router.timer("serve.classify"), trace_span("service.classify"):
+            with trace_span("patch.parse"):
+                patch = parse_patch(patch_text)
+            with trace_span("features.extract"):
+                vec = extract_features(patch)
             if batched and batcher is not None:
-                prob = batcher.submit(vec).result(timeout=30.0)
+                # The worker thread attaches the model.predict child span
+                # to this trace via the site captured in submit().
+                with trace_span("classify.batch"):
+                    prob = batcher.submit(vec).result(timeout=30.0)
             else:
-                prob = float(model.decision_scores(vec[np.newaxis, :])[0])
-            pattern = categorize_patch(patch)
-            lint = lint_patch(patch, obs=self.obs)
+                with trace_span("model.predict", batched=False):
+                    prob = float(model.decision_scores(vec[np.newaxis, :])[0])
+            with trace_span("categorize"):
+                pattern = categorize_patch(patch)
+            with trace_span("lint.patch"):
+                lint = lint_patch(patch, obs=self._router)
         findings = lint.findings()
         return {
             "sha": patch.sha,
@@ -395,12 +454,14 @@ class PatchDBService:
         Raises:
             ReproError: unparsable patch (HTTP 400).
         """
-        with self.obs.timer("serve.lint"):
-            self.obs.add("lint.request")
-            patch = parse_patch(patch_text)
-            report = lint_patch(patch, obs=self.obs)
+        with self._router.timer("serve.lint"), trace_span("service.lint"):
+            self._router.add("lint.request")
+            with trace_span("patch.parse"):
+                patch = parse_patch(patch_text)
+            with trace_span("lint.patch"):
+                report = lint_patch(patch, obs=self._router)
         findings = report.findings()
-        self.obs.add("lint.findings", len(findings))
+        self._router.add("lint.findings", len(findings))
         return {
             "sha": patch.sha,
             "subject": patch.subject,
@@ -413,13 +474,22 @@ class PatchDBService:
     # ---- observability ----------------------------------------------------
 
     def healthz(self) -> dict:
-        """Liveness: records served, model state, uptime."""
-        return {
+        """Liveness: records served, model state, uptime, rolling latency.
+
+        The per-endpoint block (p50/p95/p99 over the shard windows, exact
+        request counts and error rates) comes from the telemetry stats
+        cache, so polling ``/healthz`` at high rate pays the shard merge
+        at most twice a second.
+        """
+        out = {
             "status": "ok",
             "records": len(self._records),
             "model_warm": self._model is not None,
             "uptime_s": round(time.time() - self._started_unix, 3),
         }
+        if self.telemetry.enabled:
+            out["endpoints"] = self.telemetry.endpoint_stats()
+        return out
 
     def summary(self) -> dict:
         """The dataset's headline counts (the ``stats`` CLI view)."""
@@ -435,19 +505,60 @@ class PatchDBService:
         )
 
     def statsz(self) -> dict:
-        """The obs registry's machine-readable summary + service identity."""
-        payload = self.obs.to_dict()
+        """Machine-readable telemetry: merged registry + service identity.
+
+        The payload folds the base registry (build/warm history) together
+        with every live shard, so counters here are exactly what a single
+        globally-locked registry would have recorded, plus the rolling
+        per-endpoint latency table and trace-store occupancy.
+        """
+        if self.telemetry.enabled:
+            merged = self.telemetry.merged(self.obs)
+            payload = merged.to_dict()
+            payload["endpoints"] = self.telemetry.endpoint_stats(merged)
+            payload["traces"] = self.telemetry.traces.info()
+        else:
+            payload = self.obs.to_dict()
         payload["service"] = self.healthz()
         return payload
 
-    def record_request(self, endpoint: str, status: int, elapsed_s: float) -> None:
-        """Fold one HTTP request into the registry (single writer lock, so
-        concurrent handler threads never lose counts)."""
-        with self._lock:
-            self.obs.add("http_requests")
-            self.obs.add(f"http_{endpoint}")
-            if status >= 500:
-                self.obs.add("http_5xx")
-            elif status >= 400:
-                self.obs.add("http_4xx")
-            self.obs.observe(f"serve.http.{endpoint}", elapsed_s)
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition served on ``/metrics``."""
+        gauges = {
+            "records": float(len(self._records)),
+            "model_warm": 1.0 if self._model is not None else 0.0,
+            "model_cached": 1.0 if self._model_was_cached else 0.0,
+        }
+        return self.telemetry.metrics_text(base=self.obs, gauges=gauges)
+
+    def traces_jsonl(self, trace_id: str | None = None) -> str:
+        """Sampled request traces as ``repro-run-manifest-v1`` JSONL.
+
+        Optionally filtered to one trace id; the output feeds straight
+        into ``python -m repro trace`` (via ``--url`` or a saved file).
+        """
+        store = self.telemetry.traces
+        entries = store.entries()
+        if trace_id:
+            entries = [e for e in entries if e.trace.trace_id == trace_id]
+        return store.export_jsonl(
+            entries,
+            manifest={"records": len(self._records), "model_key": self._model_key},
+        )
+
+    def counter(self, name: str) -> int:
+        """One counter's merged value across the base registry and every
+        telemetry shard (what ``/statsz`` would report for it)."""
+        return self.obs.count(name) + self.telemetry.router.count(name)
+
+    def record_request(
+        self,
+        endpoint: str,
+        status: int,
+        elapsed_s: float,
+        trace: TraceContext | None = None,
+    ) -> None:
+        """Fold one HTTP request into the calling thread's telemetry shard
+        (no cross-thread locking; merged reads are bit-identical to the
+        old single-lock registry) and sample its trace into the store."""
+        self.telemetry.record_request(endpoint, status, elapsed_s, trace=trace)

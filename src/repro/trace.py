@@ -18,7 +18,15 @@ from typing import Any
 
 from .errors import ReproError
 
-__all__ = ["Trace", "TraceNode", "load_trace", "render_span_tree", "render_top_phases"]
+__all__ = [
+    "Trace",
+    "TraceNode",
+    "fetch_trace",
+    "load_trace",
+    "parse_trace",
+    "render_span_tree",
+    "render_top_phases",
+]
 
 
 @dataclass(slots=True)
@@ -54,10 +62,6 @@ def _fmt_seconds(seconds: float) -> str:
 def load_trace(path: str | Path) -> Trace:
     """Parse a trace JSONL file into a :class:`Trace`.
 
-    The span tree is rebuilt from the ``parent`` links; spans whose parent
-    never appears (e.g. a truncated file) become roots rather than being
-    dropped, and children are ordered by start time.
-
     Raises:
         ReproError: unreadable file, malformed JSON line, or no records.
     """
@@ -66,6 +70,45 @@ def load_trace(path: str | Path) -> Trace:
         text = target.read_text()
     except OSError as exc:
         raise ReproError(f"cannot read trace file {target}: {exc}") from exc
+    return parse_trace(text, origin=str(target))
+
+
+def fetch_trace(url: str, timeout: float = 10.0) -> Trace:
+    """Fetch and parse live traces from a running server's ``/v1/traces``.
+
+    *url* may be a server base (``http://host:port``) — the traces path is
+    appended — or a full endpoint URL (anything whose path already points
+    at the JSONL).  The payload is the same ``repro-run-manifest-v1``
+    format as an exported file, so the result renders identically.
+
+    Raises:
+        ReproError: unreachable server or malformed payload.
+    """
+    import urllib.error
+    import urllib.request
+
+    target = url.rstrip("/")
+    if not target.endswith("/v1/traces") and "?" not in target:
+        target = f"{target}/v1/traces"
+    try:
+        with urllib.request.urlopen(target, timeout=timeout) as resp:
+            text = resp.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as exc:
+        raise ReproError(f"cannot fetch traces from {target}: {exc}") from exc
+    return parse_trace(text, origin=target)
+
+
+def parse_trace(text: str, origin: str = "<trace>") -> Trace:
+    """Parse trace JSONL text into a :class:`Trace`.
+
+    The span tree is rebuilt from the ``parent`` links; spans whose parent
+    never appears (e.g. a truncated file) become roots rather than being
+    dropped, and children are ordered by start time.
+
+    Raises:
+        ReproError: malformed JSON line or no records.
+    """
+    target = origin
     manifest: dict[str, Any] = {}
     summary: dict[str, Any] = {}
     spans: list[dict[str, Any]] = []

@@ -9,7 +9,8 @@ import urllib.request
 import pytest
 
 from repro.core import PatchQuery, PatchRecord
-from repro.serve import make_server
+from repro.serve import TRACE_HEADER, make_server, parse_exposition
+from repro.trace import parse_trace
 
 
 @pytest.fixture(scope="session")
@@ -224,3 +225,146 @@ class TestStatsAccounting:
         # The repeat stream serves both of its lines from the render cache.
         assert gained(mid, after, "render_cache.hit") >= 2
         assert gained(mid, after, "render_cache.miss") == 0
+
+
+class TestTraceHeader:
+    @pytest.mark.parametrize(
+        "path", ["/healthz", "/statsz", "/metrics", "/v1/manifest", "/v1/patches?limit=1"]
+    )
+    def test_every_response_carries_a_trace_id(self, base_url, path):
+        with urllib.request.urlopen(f"{base_url}{path}", timeout=10) as resp:
+            trace_id = resp.headers[TRACE_HEADER]
+        assert trace_id and len(trace_id) == 32
+
+    def test_provided_trace_id_is_echoed(self, base_url):
+        req = urllib.request.Request(f"{base_url}/healthz")
+        req.add_header(TRACE_HEADER, "CAFEBABE-0000-1111-2222-333344445555")
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            echoed = resp.headers[TRACE_HEADER]
+        assert echoed == "cafebabe-0000-1111-2222-333344445555"
+
+    def test_malformed_trace_id_replaced(self, base_url):
+        req = urllib.request.Request(f"{base_url}/healthz")
+        req.add_header(TRACE_HEADER, "not a trace id!!")
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            echoed = resp.headers[TRACE_HEADER]
+        assert echoed != "not a trace id!!"
+        assert len(echoed) == 32
+
+    def test_error_responses_carry_trace_ids_too(self, base_url, patch_text):
+        with pytest.raises(urllib.error.HTTPError) as exc404:
+            _get(base_url, "/v1/nope")
+        assert exc404.value.headers[TRACE_HEADER]
+        with pytest.raises(urllib.error.HTTPError) as exc400:
+            _post(base_url, "/v1/classify", "definitely not a patch")
+        assert exc400.value.headers[TRACE_HEADER]
+
+    def test_stream_responses_carry_trace_ids(self, base_url):
+        with urllib.request.urlopen(f"{base_url}/v1/patches.jsonl?limit=1", timeout=10) as resp:
+            assert resp.headers[TRACE_HEADER]
+
+
+class TestMetricsEndpoint:
+    def test_parses_and_matches_statsz(self, base_url):
+        _get(base_url, "/healthz")
+        with urllib.request.urlopen(f"{base_url}/metrics", timeout=10) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode("utf-8")
+        samples = parse_exposition(text)
+        _, stats = _get(base_url, "/statsz")
+        by_name = {l["name"]: v for l, v in samples["repro_counter_total"]}
+        # The scrape and /statsz read racing shards at different instants;
+        # counters only grow, and the later /statsz read must be >= the
+        # scrape for everything the scrape saw (minus its own request).
+        for name in ("http_requests", "http_healthz"):
+            assert stats["counters"][name] >= by_name[name] > 0
+        total = sum(v for _, v in samples["repro_http_requests_total"])
+        assert total == by_name["http_requests"]
+        gauges = {n: s[0][1] for n, s in samples.items() if not n.startswith("repro_http")}
+        assert gauges["repro_model_warm"] == 1.0
+        assert gauges["repro_records"] == stats["service"]["records"]
+        assert gauges["repro_uptime_seconds"] >= 0
+
+    def test_histogram_buckets_well_formed(self, base_url):
+        with urllib.request.urlopen(f"{base_url}/metrics", timeout=10) as resp:
+            samples = parse_exposition(resp.read().decode("utf-8"))
+        series: dict[str, list[float]] = {}
+        for labels, value in samples["repro_http_request_duration_seconds_bucket"]:
+            series.setdefault(labels["endpoint"], []).append(value)
+        counts = {
+            l["endpoint"]: v
+            for l, v in samples["repro_http_request_duration_seconds_count"]
+        }
+        assert series, "no latency histograms exposed"
+        for endpoint, values in series.items():
+            assert values == sorted(values)
+            assert values[-1] == counts[endpoint]
+
+
+class TestTracesEndpoint:
+    def test_classify_trace_shows_nested_pipeline(self, base_url, patch_text):
+        req = urllib.request.Request(
+            f"{base_url}/v1/classify", data=patch_text.encode("utf-8"), method="POST"
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            trace_id = resp.headers[TRACE_HEADER]
+        with urllib.request.urlopen(
+            f"{base_url}/v1/traces?trace_id={trace_id}", timeout=10
+        ) as resp:
+            assert resp.headers["Content-Type"] == "application/x-ndjson"
+            text = resp.read().decode("utf-8")
+        parsed = parse_trace(text, origin="serve")
+        assert parsed.manifest["format"] == "repro-run-manifest-v1"
+        assert len(parsed.roots) == 1
+        root = parsed.roots[0]
+        assert root.name == "http.classify"
+        assert root.attributes["status"] == 200
+
+        def names(node, acc):
+            acc.add(node.name)
+            for child in node.children:
+                names(child, acc)
+            return acc
+
+        seen = names(root, set())
+        for expected in (
+            "service.classify",
+            "patch.parse",
+            "features.extract",
+            "classify.batch",
+            "model.predict",
+            "categorize",
+            "lint.patch",
+        ):
+            assert expected in seen, f"missing span {expected}: {sorted(seen)}"
+
+    def test_query_trace_shows_index_spans(self, base_url):
+        with urllib.request.urlopen(
+            f"{base_url}/v1/patches?source=wild&limit=2&include_patch=1", timeout=10
+        ) as resp:
+            trace_id = resp.headers[TRACE_HEADER]
+        with urllib.request.urlopen(
+            f"{base_url}/v1/traces?trace_id={trace_id}", timeout=10
+        ) as resp:
+            parsed = parse_trace(resp.read().decode("utf-8"), origin="serve")
+        assert len(parsed.roots) == 1
+
+        def names(node, acc):
+            acc.add(node.name)
+            for child in node.children:
+                names(child, acc)
+            return acc
+
+        seen = names(parsed.roots[0], set())
+        assert {"http.query", "service.query", "query.count", "query.page"} <= seen
+
+    def test_full_dump_renders(self, base_url):
+        _get(base_url, "/healthz")
+        with urllib.request.urlopen(f"{base_url}/v1/traces", timeout=10) as resp:
+            parsed = parse_trace(resp.read().decode("utf-8"), origin="serve")
+        assert parsed.manifest["traces"] >= 1
+        assert parsed.n_spans >= 1
+        from repro.trace import render_span_tree
+
+        rendered = render_span_tree(parsed)
+        assert "http." in rendered

@@ -129,9 +129,11 @@ class TestLint:
             service.lint("this is not a patch")
 
     def test_counters(self, service, patch_text):
-        before = service.obs.count("lint.request")
+        # Per-request counters land in the caller's telemetry shard; the
+        # merged view (what /statsz serves) is the consistent read.
+        before = service.counter("lint.request")
         service.lint(patch_text)
-        assert service.obs.count("lint.request") == before + 1
+        assert service.counter("lint.request") == before + 1
 
 
 class TestBatcher:

@@ -1,0 +1,140 @@
+"""Bounded-registry semantics: histogram windows, span caps, merge laws.
+
+The serve layer runs :class:`~repro.obs.ObsRegistry` for weeks, so PR 9
+added ``hist_window`` (ring of recent raw observations with the exact
+running ``count``/``total`` preserved) and ``span_cap`` (drop tree nodes
+past the cap, keep flat timing, count the overflow).  These tests pin the
+contract: bounded memory, exact aggregates, and byte-identical batch-mode
+behavior when no bounds are set.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import ObsRegistry
+
+
+class TestHistWindow:
+    def test_window_bounds_raw_values(self):
+        reg = ObsRegistry(hist_window=16)
+        for i in range(1000):
+            reg.observe("lat", float(i))
+        assert len(reg.histograms["lat"]) == 16
+        assert reg.histograms["lat"] == [float(i) for i in range(984, 1000)]
+
+    def test_exact_count_and_total_survive_eviction(self):
+        reg = ObsRegistry(hist_window=8)
+        values = [float(i) for i in range(100)]
+        for v in values:
+            reg.observe("lat", v)
+        assert reg.hist_count("lat") == 100
+        assert reg.hist_total("lat") == pytest.approx(sum(values))
+        stats = reg.hist_stats()["lat"]
+        assert stats["count"] == 100
+        assert stats["total"] == pytest.approx(sum(values))
+        # Quantiles describe the retained window (recent values).
+        assert stats["p50"] >= 92.0
+
+    def test_timers_window_too(self):
+        reg = ObsRegistry(hist_window=4)
+        for _ in range(20):
+            with reg.timer("phase"):
+                pass
+        assert len(reg.histograms["phase"]) == 4
+        assert reg.hist_count("phase") == 20
+        assert reg.timer_calls["phase"] == 20
+
+    def test_unbounded_registry_unchanged(self):
+        reg = ObsRegistry()
+        for i in range(50):
+            reg.observe("lat", float(i))
+        assert len(reg.histograms["lat"]) == 50
+        assert reg.hist_count("lat") == 50
+        # Batch payload shape is byte-identical: no spans_dropped key.
+        assert "spans_dropped" not in reg.to_dict()
+
+    def test_bounded_payload_reports_drops(self):
+        reg = ObsRegistry(hist_window=4)
+        reg.observe("lat", 1.0)
+        assert "spans_dropped" in reg.to_dict()
+
+
+class TestSpanCap:
+    def test_spans_capped_with_timing_kept(self):
+        reg = ObsRegistry(span_cap=5)
+        for i in range(20):
+            with reg.span("work", i=i):
+                pass
+        assert len(reg.spans) == 5
+        assert reg.spans_dropped == 15
+        # Flat timing still counts every call.
+        assert reg.timer_calls["work"] == 20
+        assert reg.to_dict()["spans_dropped"] == 15
+
+    def test_capped_span_yields_none(self):
+        reg = ObsRegistry(span_cap=1)
+        with reg.span("a") as first:
+            pass
+        with reg.span("b") as second:
+            pass
+        assert first is not None
+        assert second is None
+
+    def test_trace_export_unchanged_without_cap(self, tmp_path):
+        reg = ObsRegistry()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        target = tmp_path / "trace.jsonl"
+        reg.export_trace(target, manifest={"command": "test"})
+        kinds = [json.loads(l)["type"] for l in target.read_text().splitlines()]
+        assert kinds.count("span") == 2
+
+
+class TestBoundedMerge:
+    def test_merge_preserves_exact_counts_across_windows(self):
+        a = ObsRegistry(hist_window=4)
+        b = ObsRegistry(hist_window=4)
+        for i in range(50):
+            a.observe("lat", float(i))
+        for i in range(30):
+            b.observe("lat", float(100 + i))
+        a.merge(b.snapshot())
+        assert a.hist_count("lat") == 80
+        assert a.hist_total("lat") == pytest.approx(
+            sum(range(50)) + sum(range(100, 130))
+        )
+        assert len(a.histograms["lat"]) <= 4
+
+    def test_merge_counter_sums_exact(self):
+        a = ObsRegistry(hist_window=8)
+        b = ObsRegistry(hist_window=8)
+        a.add("hits", 3)
+        b.add("hits", 4)
+        a.merge(b.snapshot())
+        assert a.count("hits") == 7
+
+    def test_merge_respects_span_cap(self):
+        a = ObsRegistry(span_cap=3)
+        b = ObsRegistry()
+        for _ in range(10):
+            with b.span("s"):
+                pass
+        a.merge(b.snapshot())
+        assert len(a.spans) <= 3
+        assert a.spans_dropped >= 7
+
+    def test_unbounded_merge_bit_identical_to_before(self):
+        """Merging two unbounded registries must match the historical
+        (pre-window) semantics: full raw values concatenated."""
+        a = ObsRegistry()
+        b = ObsRegistry()
+        for i in range(10):
+            a.observe("lat", float(i))
+            b.observe("lat", float(i + 10))
+        a.merge(b.snapshot())
+        assert a.histograms["lat"] == [float(i) for i in range(10)] + [
+            float(i + 10) for i in range(10)
+        ]
+        assert a.hist_count("lat") == 20
